@@ -1,0 +1,25 @@
+"""Shared plumbing for the benchmark suite.
+
+Each benchmark regenerates one paper figure/table via its experiment driver
+(`repro.experiments.*`) at a reduced scale, asserts the figure's *shape*
+checks (who wins, by roughly what factor), and reports the driver's runtime
+through pytest-benchmark.  Run the full-scale reproduction with
+``python -m repro.experiments.<id>`` instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Scale factor applied to every experiment's duration/samples in benchmarks.
+BENCH_SCALE = 0.3
+
+
+def run_and_check(benchmark, experiment_module, scale: float = BENCH_SCALE, seed: int = 0):
+    """Benchmark one experiment driver and assert its shape checks."""
+    result = benchmark.pedantic(
+        experiment_module.run, kwargs={"seed": seed, "scale": scale}, rounds=1, iterations=1
+    )
+    failures = [str(check) for check in result.checks if not check.passed]
+    assert not failures, "shape checks failed:\n" + "\n".join(failures)
+    return result

@@ -1,0 +1,10 @@
+"""Benchmark regenerating A1 (ablation): likelihood-model variants."""
+
+from repro.experiments import a1_likelihood_ablation as experiment
+
+from conftest import run_and_check
+
+
+def test_a1_likelihood_ablation(benchmark):
+    result = run_and_check(benchmark, experiment)
+    assert result.tables, "experiment produced no tables"

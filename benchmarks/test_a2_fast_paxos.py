@@ -1,0 +1,10 @@
+"""Benchmark regenerating A2 (ablation): fast vs classic Paxos acceptance path."""
+
+from repro.experiments import a2_fast_paxos as experiment
+
+from conftest import run_and_check
+
+
+def test_a2_fast_paxos(benchmark):
+    result = run_and_check(benchmark, experiment)
+    assert result.tables, "experiment produced no tables"

@@ -1,0 +1,10 @@
+"""Benchmark regenerating A3 (ablation): likelihood vs random shedding at matched rate."""
+
+from repro.experiments import a3_admission_policy as experiment
+
+from conftest import run_and_check
+
+
+def test_a3_admission_policy(benchmark):
+    result = run_and_check(benchmark, experiment)
+    assert result.tables, "experiment produced no tables"

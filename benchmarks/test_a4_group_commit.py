@@ -1,0 +1,10 @@
+"""Benchmark regenerating A4 (ablation): WAL group commit."""
+
+from repro.experiments import a4_group_commit as experiment
+
+from conftest import run_and_check
+
+
+def test_a4_group_commit(benchmark):
+    result = run_and_check(benchmark, experiment)
+    assert result.tables, "experiment produced no tables"

@@ -1,0 +1,10 @@
+"""Benchmark regenerating F10: abort rate and abort cost across hot-set sizes."""
+
+from repro.experiments import f10_contention as experiment
+
+from conftest import run_and_check
+
+
+def test_f10_contention(benchmark):
+    result = run_and_check(benchmark, experiment)
+    assert result.tables, "experiment produced no tables"

@@ -1,0 +1,10 @@
+"""Benchmark regenerating F11: goodput vs offered load with likelihood admission control."""
+
+from repro.experiments import f11_admission as experiment
+
+from conftest import run_and_check
+
+
+def test_f11_admission(benchmark):
+    result = run_and_check(benchmark, experiment)
+    assert result.tables, "experiment produced no tables"

@@ -1,0 +1,10 @@
+"""Benchmark regenerating F12: response vs commit latency under injected latency spikes."""
+
+from repro.experiments import f12_spikes as experiment
+
+from conftest import run_and_check
+
+
+def test_f12_spikes(benchmark):
+    result = run_and_check(benchmark, experiment)
+    assert result.tables, "experiment produced no tables"

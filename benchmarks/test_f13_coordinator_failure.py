@@ -1,0 +1,10 @@
+"""Benchmark regenerating F13: coordinator crash, orphaned options, and the recovery protocol."""
+
+from repro.experiments import f13_coordinator_failure as experiment
+
+from conftest import run_and_check
+
+
+def test_f13_coordinator_failure(benchmark):
+    result = run_and_check(benchmark, experiment)
+    assert result.tables, "experiment produced no tables"

@@ -1,0 +1,10 @@
+"""Benchmark regenerating F6: commit latency CDF, optimistic fast-Paxos commit vs 2PC baseline."""
+
+from repro.experiments import f6_commit_latency as experiment
+
+from conftest import run_and_check
+
+
+def test_f6_commit_latency_cdf(benchmark):
+    result = run_and_check(benchmark, experiment)
+    assert result.tables, "experiment produced no tables"

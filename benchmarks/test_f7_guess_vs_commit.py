@@ -1,0 +1,10 @@
+"""Benchmark regenerating F7: time-to-guess vs time-to-final-commit CDFs."""
+
+from repro.experiments import f7_guess_vs_commit as experiment
+
+from conftest import run_and_check
+
+
+def test_f7_guess_vs_commit(benchmark):
+    result = run_and_check(benchmark, experiment)
+    assert result.tables, "experiment produced no tables"

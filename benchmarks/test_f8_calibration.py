@@ -1,0 +1,10 @@
+"""Benchmark regenerating F8: commit-likelihood calibration (reliability diagram + ECE)."""
+
+from repro.experiments import f8_calibration as experiment
+
+from conftest import run_and_check
+
+
+def test_f8_calibration(benchmark):
+    result = run_and_check(benchmark, experiment)
+    assert result.tables, "experiment produced no tables"

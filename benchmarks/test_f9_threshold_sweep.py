@@ -1,0 +1,10 @@
+"""Benchmark regenerating F9: speculation accuracy across guess thresholds."""
+
+from repro.experiments import f9_threshold_sweep as experiment
+
+from conftest import run_and_check
+
+
+def test_f9_threshold_sweep(benchmark):
+    result = run_and_check(benchmark, experiment)
+    assert result.tables, "experiment produced no tables"

@@ -1,0 +1,81 @@
+"""Micro-benchmarks of the library's hot primitives.
+
+These complement the figure-regeneration benchmarks: they track the raw
+throughput of the pieces every simulated second flows through — the event
+queue, the likelihood math, the quantile estimator, the workload generator,
+and the end-to-end events-per-second of a small five-DC run.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.core.likelihood import poisson_binomial_tail
+from repro.core.session import PlanetSession
+from repro.sim.events import EventQueue
+from repro.stats.quantiles import P2Quantile
+from repro.workload.keys import ZipfChooser
+
+
+def test_event_queue_push_pop(benchmark):
+    def push_pop_1000():
+        queue = EventQueue()
+        for i in range(1000):
+            queue.push(float(i % 97), lambda: None)
+        while queue.pop() is not None:
+            pass
+
+    benchmark(push_pop_1000)
+
+
+def test_poisson_binomial_tail(benchmark):
+    ps = [0.93, 0.41, 0.88, 0.67, 0.52]
+
+    def evaluate_500():
+        for need in range(1, 6):
+            for _ in range(100):
+                poisson_binomial_tail(ps, need)
+
+    benchmark(evaluate_500)
+
+
+def test_p2_quantile_updates(benchmark):
+    rng = Random(0)
+    samples = [rng.random() * 100 for _ in range(5000)]
+
+    def feed():
+        estimator = P2Quantile(0.99)
+        for sample in samples:
+            estimator.update(sample)
+        return estimator.value
+
+    benchmark(feed)
+
+
+def test_zipf_chooser_draws(benchmark):
+    chooser = ZipfChooser(10_000, theta=0.99)
+    rng = Random(1)
+
+    def draw_5000():
+        for _ in range(5000):
+            chooser.choose_index(rng)
+
+    benchmark(draw_5000)
+
+
+def test_end_to_end_simulation_throughput(benchmark):
+    """Events/second of a full PLANET stack run (the number that bounds how
+    big an experiment the harness can afford)."""
+
+    def run_two_seconds():
+        cluster = Cluster(ClusterConfig(seed=3))
+        session = PlanetSession(cluster, "us_west")
+        for i in range(100):
+            tx = session.transaction().write(f"k{i % 37}", i).with_guess_threshold(0.95)
+            cluster.sim.schedule(i * 20.0, session.submit, tx)
+        cluster.run()
+        return cluster.sim.events_processed
+
+    events = benchmark(run_two_seconds)
+    assert events > 1000

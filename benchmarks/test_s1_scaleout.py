@@ -1,0 +1,10 @@
+"""Benchmark regenerating S1: commit latency vs number of regions (guess latency stays flat)."""
+
+from repro.experiments import s1_scaleout as experiment
+
+from conftest import run_and_check
+
+
+def test_s1_scaleout(benchmark):
+    result = run_and_check(benchmark, experiment)
+    assert result.tables, "experiment produced no tables"

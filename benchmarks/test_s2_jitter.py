@@ -1,0 +1,10 @@
+"""Benchmark regenerating S2: sensitivity to wide-area latency variance."""
+
+from repro.experiments import s2_jitter as experiment
+
+from conftest import run_and_check
+
+
+def test_s2_jitter(benchmark):
+    result = run_and_check(benchmark, experiment)
+    assert result.tables, "experiment produced no tables"

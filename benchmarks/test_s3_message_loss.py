@@ -1,0 +1,10 @@
+"""Benchmark regenerating S3: sensitivity to message loss with deadlines and orphan recovery."""
+
+from repro.experiments import s3_message_loss as experiment
+
+from conftest import run_and_check
+
+
+def test_s3_message_loss(benchmark):
+    result = run_and_check(benchmark, experiment)
+    assert result.tables, "experiment produced no tables"

@@ -1,0 +1,10 @@
+"""Benchmark regenerating T1: the inter-DC RTT matrix the latency substrate reproduces."""
+
+from repro.experiments import t1_rtt_matrix as experiment
+
+from conftest import run_and_check
+
+
+def test_t1_rtt_matrix(benchmark):
+    result = run_and_check(benchmark, experiment)
+    assert result.tables, "experiment produced no tables"

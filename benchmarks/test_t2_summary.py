@@ -1,0 +1,10 @@
+"""Benchmark regenerating T2: end-to-end workload summary (microbench + TPC-W-like checkout)."""
+
+from repro.experiments import t2_summary as experiment
+
+from conftest import run_and_check
+
+
+def test_t2_summary(benchmark):
+    result = run_and_check(benchmark, experiment)
+    assert result.tables, "experiment produced no tables"

@@ -1,0 +1,10 @@
+"""Benchmark regenerating T3: the full TPC-W-like mix, per-type breakdown."""
+
+from repro.experiments import t3_tpcw_mix as experiment
+
+from conftest import run_and_check
+
+
+def test_t3_tpcw_mix(benchmark):
+    result = run_and_check(benchmark, experiment)
+    assert result.tables, "experiment produced no tables"

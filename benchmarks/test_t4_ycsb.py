@@ -1,0 +1,10 @@
+"""Benchmark regenerating T4: YCSB core workloads on the PLANET stack."""
+
+from repro.experiments import t4_ycsb as experiment
+
+from conftest import run_and_check
+
+
+def test_t4_ycsb(benchmark):
+    result = run_and_check(benchmark, experiment)
+    assert result.tables, "experiment produced no tables"

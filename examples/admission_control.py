@@ -1,0 +1,85 @@
+"""Admission control under contention: shedding doomed work raises goodput.
+
+Floods a 16-record hot set with exclusive writes, then compares three
+deployments of the *same* workload:
+
+* no admission control — the optimistic engine wastes wide-area round trips
+  discovering that most transactions conflict;
+* likelihood-based admission — transactions whose predicted commit
+  likelihood is below 0.4 are rejected locally, in effect instantly;
+* random shedding at the same measured rejection rate — the control that
+  shows the prediction (not the load reduction) carries the win.
+
+Run with:  python examples/admission_control.py
+"""
+
+from repro.core.admission import AdmissionPolicy
+from repro.core.session import PlanetConfig
+from repro.experiments.common import microbench_run
+from repro.harness.report import Table
+
+
+def main() -> None:
+    shared = dict(
+        seed=5,
+        n_keys=4_096,
+        hot_keys=16,
+        hot_fraction=0.8,
+        rate_tps=16.0,
+        clients_per_dc=2,
+        duration_ms=15_000.0,
+        warmup_ms=2_000.0,
+        timeout_ms=2_000.0,
+        guess_threshold=None,
+    )
+    print("running: no admission control ...")
+    plain = microbench_run(planet=PlanetConfig(), **shared)
+    print("running: likelihood admission (threshold 0.4) ...")
+    likelihood = microbench_run(
+        planet=PlanetConfig(
+            admission_policy=AdmissionPolicy.LIKELIHOOD, admission_threshold=0.4
+        ),
+        **shared,
+    )
+    shed_rate = likelihood.abort_reason_counts().get("admission", 0) / max(
+        len(likelihood.transactions), 1
+    )
+    print(f"running: random shedding at the matched rate ({shed_rate:.0%}) ...")
+    random_shed = microbench_run(
+        planet=PlanetConfig(
+            admission_policy=AdmissionPolicy.RANDOM,
+            random_reject_rate=min(shed_rate, 0.95),
+        ),
+        **shared,
+    )
+    print()
+
+    table = Table(
+        "Goodput under an 80%-hot, 16-record write storm",
+        ["policy", "goodput (commits/s)", "abort %", "mean abort cost (ms)"],
+    )
+    for name, run in (
+        ("none", plain),
+        ("likelihood >= 0.4", likelihood),
+        (f"random {shed_rate:.0%}", random_shed),
+    ):
+        aborted = run.aborted()
+        costs = [
+            tx.commit_latency_ms()
+            for tx in aborted
+            if tx.commit_latency_ms() is not None
+        ]
+        mean_cost = sum(costs) / len(costs) if costs else 0.0
+        table.add_row(name, run.goodput_tps(), 100.0 * run.abort_rate(), mean_cost)
+    table.print()
+
+    gain = likelihood.goodput_tps() / plain.goodput_tps()
+    print(f"likelihood admission delivers {gain:.1f}x the goodput of no admission,")
+    print(
+        f"and {likelihood.goodput_tps() / random_shed.goodput_tps():.1f}x that of "
+        "blind shedding at the same rate — the prediction is the point."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Coordinator crash and the orphan-recovery protocol, step by step.
+
+A coordinator dies while its transaction's options are in flight.  Without
+recovery, the accepted options orphan their records — every later writer
+conflicts forever.  With the recovery protocol armed, the replicas run
+status rounds among themselves and *complete* the transaction (it had
+reached a quorum before the crash), so no work is lost and the records are
+immediately reusable.
+
+Run with:  python examples/crash_recovery.py
+"""
+
+from repro import Cluster, ClusterConfig
+from repro.core.session import PlanetSession
+
+
+def scenario(option_ttl_ms, label):
+    print(f"=== {label} ===")
+    cluster = Cluster(ClusterConfig(seed=5, jitter_sigma=0.0, option_ttl_ms=option_ttl_ms))
+    session = PlanetSession(cluster, "us_west")
+
+    doomed = session.transaction().write("inventory:widget", 500)
+    session.submit(doomed)
+    # Crash the coordinator 50 ms in: proposals are in flight, the decision
+    # will never be made by the coordinator itself.
+    cluster.sim.schedule(50.0, cluster.crash_coordinator, "us_west")
+    cluster.run()
+
+    pending = sum(
+        1 for node in cluster.storage_nodes.values()
+        if node.store.record("inventory:widget").pending
+    )
+    value = cluster.storage_node("tokyo").store.get("inventory:widget").value
+    print(f"  after drain: value={value!r}, replicas with pending options={pending}")
+
+    # Another customer (different DC, healthy coordinator) tries to write.
+    survivor = PlanetSession(cluster, "us_east")
+    retry = survivor.transaction().write("inventory:widget", 750)
+    survivor.submit(retry)
+    cluster.run()
+    print(f"  survivor's write: {retry.stage.value}"
+          + (f" ({retry.abort_reason.value})" if not retry.committed else ""))
+    print()
+
+
+def main() -> None:
+    scenario(option_ttl_ms=None, label="no recovery: orphaned options block the record")
+    scenario(option_ttl_ms=500.0, label="recovery armed (TTL 500 ms): takeover completes the work")
+
+
+if __name__ == "__main__":
+    main()

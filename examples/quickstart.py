@@ -1,0 +1,57 @@
+"""Quickstart: one PLANET transaction across five data centers.
+
+Builds the simulated geo-replicated deployment, runs a single transaction
+with the full callback surface, and prints the timeline the programming
+model exposes: progress (commit likelihood) on every replica vote, the
+speculative commit ("guess") the moment the likelihood crosses the
+threshold, and the final durable commit one wide-area quorum round trip
+later.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import Cluster, ClusterConfig, PlanetClient
+
+
+def main() -> None:
+    cluster = Cluster(ClusterConfig(seed=7))
+    client = PlanetClient(cluster, "us_west")
+    sim = cluster.sim
+
+    txn = (
+        client.transaction()
+        .read("balance:alice")
+        .write("balance:alice", 125)
+        .write("audit:alice:1", {"change": +25})
+        .with_timeout(1_000.0)
+        .with_guess_threshold(0.95)
+        .on_progress(
+            lambda tx, p: print(f"  t={sim.now:7.2f} ms  progress: commit likelihood {p:.3f}")
+        )
+        .on_guess(
+            lambda tx, p: print(
+                f"  t={sim.now:7.2f} ms  GUESS: responding to the user now (p={p:.3f})"
+            )
+        )
+        .on_wrong_guess(lambda tx: print(f"  t={sim.now:7.2f} ms  compensation needed!"))
+        .on_commit(lambda tx: print(f"  t={sim.now:7.2f} ms  COMMIT: durable at quorum"))
+        .on_abort(lambda tx: print(f"  t={sim.now:7.2f} ms  ABORT: {tx.abort_reason.value}"))
+    )
+
+    print("Submitting transaction from us_west across 5 data centers...")
+    client.submit(txn)
+    cluster.run()
+
+    print()
+    print(f"final stage      : {txn.stage.value}")
+    print(f"time to guess    : {txn.guess_latency_ms():.2f} ms")
+    print(f"time to commit   : {txn.commit_latency_ms():.2f} ms")
+    print(f"user-perceived speedup: {txn.commit_latency_ms() / txn.guess_latency_ms():.0f}x")
+    print()
+    print("replica state (all five data centers):")
+    for dc_name, node in cluster.storage_nodes.items():
+        print(f"  {dc_name:10s} balance:alice = {node.store.get('balance:alice').value}")
+
+
+if __name__ == "__main__":
+    main()

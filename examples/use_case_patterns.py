@@ -1,0 +1,109 @@
+"""The paper's application patterns, each in a few lines.
+
+Demonstrates the four reusable use-case helpers built on the PLANET model:
+
+1. TwoTierResponse — provisional answer at guess, durable confirmation later;
+2. SoftDeadline — honest "still working, ~N ms to go" without killing work;
+3. AlternateOnLowLikelihood — abandon a doomed transaction for a fallback;
+4. RetryPolicy — bounded backoff-retry for conflict aborts.
+
+Run with:  python examples/use_case_patterns.py
+"""
+
+from repro import Cluster, ClusterConfig
+from repro.core.session import PlanetSession
+from repro.usecases import (
+    AlternateOnLowLikelihood,
+    RetryPolicy,
+    SoftDeadline,
+    TwoTierResponse,
+)
+
+
+def demo_two_tier(cluster: Cluster, session: PlanetSession) -> None:
+    print("1) Two-tier response")
+    pattern = TwoTierResponse(
+        session,
+        respond_provisionally=lambda tx: print(
+            f"     t={cluster.sim.now:6.1f} ms  UI: 'Order placed!' (provisional)"
+        ),
+        confirm=lambda tx: print(
+            f"     t={cluster.sim.now:6.1f} ms  e-mail: receipt sent (durable)"
+        ),
+    )
+    tx = session.transaction().write("order:1001", {"item": "novel"})
+    pattern.run(tx, guess_threshold=0.95)
+    cluster.run()
+    print(f"     user waited {pattern.user_response_latency_ms(tx):.1f} ms; "
+          f"durable after {tx.commit_latency_ms():.1f} ms\n")
+
+
+def demo_soft_deadline(cluster: Cluster, session: PlanetSession) -> None:
+    print("2) Soft deadline with an honest ETA")
+    pattern = SoftDeadline(
+        session,
+        soft_deadline_ms=60.0,
+        on_still_pending=lambda tx, eta: print(
+            f"     t={cluster.sim.now:6.1f} ms  UI: 'still working — about "
+            f"{eta:.0f} ms to go'"
+        ),
+    )
+    # No guess threshold: nothing answers before the wide-area quorum.
+    tx = session.transaction().write("order:1002", {"item": "lamp"})
+    pattern.run(tx)
+    cluster.run()
+    print(f"     committed at t={tx.decided_at:.1f} ms, as predicted\n")
+
+
+def demo_alternate(cluster: Cluster, session: PlanetSession) -> None:
+    print("3) Alternate transaction when the likelihood tanks")
+    # Poison the statistics: the 'us' warehouse looks hopeless.
+    for _ in range(60):
+        session.conflicts.observe_outcome("stock:us:lamp", conflicted=True)
+        session.conflicts.observe_outcome("stock:eu:lamp", conflicted=False)
+
+    pattern = AlternateOnLowLikelihood(
+        session,
+        build_alternate=lambda failed: (
+            print(f"     t={cluster.sim.now:6.1f} ms  switching to the EU warehouse"),
+            session.transaction().increment("stock:eu:lamp", -1, floor=-10_000),
+        )[1],
+        likelihood_floor=0.5,
+    )
+    pattern.run(session.transaction().write("stock:us:lamp", 0))
+    cluster.run()
+    print(f"     attempts: {len(pattern.attempts)}, final outcome: "
+          f"{pattern.final.stage.value}\n")
+
+
+def demo_retry(cluster: Cluster, session: PlanetSession) -> None:
+    print("4) Retry policy for conflict aborts")
+    competitor = PlanetSession(cluster, "us_east", conflicts=session.conflicts)
+    competitor.submit(competitor.transaction().write("seat:12A", "someone-else"))
+
+    policy = RetryPolicy(
+        session,
+        build=lambda: session.transaction().write("seat:12A", "me"),
+        max_retries=4,
+        base_backoff_ms=250.0,
+        on_done=lambda tx, ok: print(
+            f"     t={cluster.sim.now:6.1f} ms  {'booked!' if ok else 'gave up'} "
+            f"after {policy.total_attempts} attempt(s)"
+        ),
+    )
+    cluster.sim.schedule(10.0, policy.run)
+    cluster.run()
+    print()
+
+
+def main() -> None:
+    cluster = Cluster(ClusterConfig(seed=31))
+    session = PlanetSession(cluster, "us_west")
+    demo_two_tier(cluster, session)
+    demo_soft_deadline(cluster, session)
+    demo_alternate(cluster, session)
+    demo_retry(cluster, session)
+
+
+if __name__ == "__main__":
+    main()

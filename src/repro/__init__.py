@@ -1,0 +1,40 @@
+"""PLANET reproduction: predictive latency-aware networked transactions.
+
+Reproduction of *PLANET: Making Progress with Commit Processing in
+Unpredictable Environments* (Pang, Kraska, Franklin, Fekete — SIGMOD 2014)
+on a deterministic discrete-event simulation of a five-data-center,
+strongly consistent, geo-replicated database.  See DESIGN.md for the system
+inventory and EXPERIMENTS.md for the reproduced evaluation.
+
+Public entry points:
+
+* :class:`Cluster` / :class:`ClusterConfig` — build the simulated deployment;
+* :class:`PlanetClient` — the application-facing transaction API;
+* :class:`PlanetConfig` — speculation/admission configuration;
+* :mod:`repro.workload` — benchmark workload generators;
+* :mod:`repro.experiments` — one driver per paper figure/table.
+"""
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.core.client import PlanetClient
+from repro.core.session import PlanetConfig, PlanetSession
+from repro.core.stages import TxStage
+from repro.core.transaction import PlanetTransaction
+from repro.core.admission import AdmissionPolicy
+from repro.ops import AbortReason, Outcome
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "ClusterConfig",
+    "PlanetClient",
+    "PlanetConfig",
+    "PlanetSession",
+    "PlanetTransaction",
+    "TxStage",
+    "AdmissionPolicy",
+    "AbortReason",
+    "Outcome",
+    "__version__",
+]

@@ -1,0 +1,16 @@
+"""Baseline commit engine: lock-based two-phase commit over primary-copy
+synchronous geo-replication.
+
+Each key has a *primary* replica in one data center (hash-placed).  A
+transaction locks and prepares at every written key's primary; each primary
+synchronously replicates the prepare to a majority of the other replicas
+before voting yes.  The coordinator decides after all votes and releases the
+locks with the decision.  This is the eager, blocking commit discipline the
+paper contrasts PLANET against: at least two wide-area round trips on the
+critical path, and lock waits that stack up under contention.
+"""
+
+from repro.baselines.twopc import TwoPcConfig, TwoPcCoordinator
+from repro.baselines.replica import TwoPcReplica, primary_index
+
+__all__ = ["TwoPcConfig", "TwoPcCoordinator", "TwoPcReplica", "primary_index"]

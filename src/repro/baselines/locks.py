@@ -1,0 +1,102 @@
+"""Per-record exclusive locks with FIFO waiting and wait timeouts.
+
+The lock table is the source of the baseline's contention behaviour: a
+prepared transaction holds its locks across a wide-area round trip, so
+conflicting transactions queue up behind it, and deadlocks (resolved here by
+wait timeouts) translate into aborts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.kernel import Simulator
+
+
+@dataclass
+class _Waiter:
+    txid: str
+    on_grant: Callable[[], None]
+    on_timeout: Callable[[], None]
+    timeout_event: object = None
+
+
+class LockTable:
+    """Exclusive record locks for one replica node."""
+
+    def __init__(self, sim: Simulator, wait_timeout_ms: float = 1000.0) -> None:
+        self.sim = sim
+        self.wait_timeout_ms = wait_timeout_ms
+        self._holder: Dict[str, str] = {}
+        self._queues: Dict[str, List[_Waiter]] = {}
+        self.lock_waits = 0
+        self.lock_timeouts = 0
+
+    def holder(self, key: str) -> Optional[str]:
+        return self._holder.get(key)
+
+    def acquire(
+        self,
+        key: str,
+        txid: str,
+        on_grant: Callable[[], None],
+        on_timeout: Callable[[], None],
+    ) -> None:
+        """Grant the lock now (calls ``on_grant`` immediately) or queue."""
+        current = self._holder.get(key)
+        if current is None or current == txid:
+            self._holder[key] = txid
+            on_grant()
+            return
+        self.lock_waits += 1
+        waiter = _Waiter(txid=txid, on_grant=on_grant, on_timeout=on_timeout)
+        waiter.timeout_event = self.sim.schedule(
+            self.wait_timeout_ms, self._expire, key, waiter
+        )
+        self._queues.setdefault(key, []).append(waiter)
+
+    def release(self, key: str, txid: str) -> None:
+        """Release the lock (or remove ``txid`` from the wait queue)."""
+        if self._holder.get(key) == txid:
+            del self._holder[key]
+            self._grant_next(key)
+        else:
+            self._remove_waiter(key, txid)
+
+    # ------------------------------------------------------------------
+    def _grant_next(self, key: str) -> None:
+        queue = self._queues.get(key)
+        while queue:
+            waiter = queue.pop(0)
+            if not queue:
+                del self._queues[key]
+            if waiter.timeout_event is not None:
+                waiter.timeout_event.cancel()
+            self._holder[key] = waiter.txid
+            waiter.on_grant()
+            return
+        if queue is not None and not queue:
+            self._queues.pop(key, None)
+
+    def _expire(self, key: str, waiter: _Waiter) -> None:
+        queue = self._queues.get(key)
+        if queue is None or waiter not in queue:
+            return
+        queue.remove(waiter)
+        if not queue:
+            del self._queues[key]
+        self.lock_timeouts += 1
+        waiter.on_timeout()
+
+    def _remove_waiter(self, key: str, txid: str) -> None:
+        queue = self._queues.get(key)
+        if not queue:
+            return
+        for waiter in list(queue):
+            if waiter.txid == txid:
+                if waiter.timeout_event is not None:
+                    waiter.timeout_event.cancel()
+                queue.remove(waiter)
+        if not queue:
+            self._queues.pop(key, None)

@@ -1,0 +1,80 @@
+"""Wire messages of the two-phase-commit baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+from repro.net.messages import Message
+from repro.ops import WriteLike
+
+
+@dataclass
+class PrimaryReadRequest(Message):
+    """Strongly consistent read, served by the key's primary."""
+
+    txid: str = ""
+    keys: Tuple[str, ...] = ()
+
+
+@dataclass
+class PrimaryReadReply(Message):
+    txid: str = ""
+    results: Dict[str, Tuple[int, Any]] = field(default_factory=dict)
+
+
+@dataclass
+class PrepareRequest(Message):
+    """Coordinator -> primary: lock the record and prepare the write."""
+
+    txid: str = ""
+    key: str = ""
+    op: WriteLike = None  # type: ignore[assignment]
+
+
+@dataclass
+class PrepareReply(Message):
+    txid: str = ""
+    key: str = ""
+    prepared: bool = False
+    reason: str = ""
+
+
+@dataclass
+class BackupPrepare(Message):
+    """Primary -> backup: force the prepared write to the backup's log."""
+
+    txid: str = ""
+    key: str = ""
+    op: WriteLike = None  # type: ignore[assignment]
+
+
+@dataclass
+class BackupAck(Message):
+    txid: str = ""
+    key: str = ""
+
+
+@dataclass
+class DecisionRequest(Message):
+    """Coordinator -> primary: commit/abort; apply and release the lock."""
+
+    txid: str = ""
+    key: str = ""
+    commit: bool = False
+
+
+@dataclass
+class BackupDecision(Message):
+    """Primary -> backup: propagate the decided write (asynchronous).
+
+    ``version`` is the primary's committed version after applying the write;
+    backups apply strictly in version order (buffering gaps) so that
+    reordered decision messages cannot diverge the replicas.
+    """
+
+    txid: str = ""
+    key: str = ""
+    commit: bool = False
+    op: WriteLike = None  # type: ignore[assignment]
+    version: int = 0

@@ -1,0 +1,126 @@
+"""Command-line interface: list and run the reproduction experiments.
+
+Usage::
+
+    python -m repro list
+    python -m repro run f6_commit_latency [--seed 3] [--scale 0.5]
+    python -m repro run --all [--scale 0.3]
+
+Every experiment prints the rows/series of the corresponding paper
+figure/table plus its shape checks; the exit code is non-zero when any
+shape check fails, so the CLI composes with scripts and CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import List
+
+from repro.experiments import ALL_EXPERIMENTS
+
+_TITLES = {
+    "t1_rtt_matrix": "inter-DC RTT matrix (latency substrate validation)",
+    "f6_commit_latency": "commit latency CDF, PLANET/MDCC vs 2PC",
+    "f7_guess_vs_commit": "time-to-guess vs time-to-commit CDFs",
+    "f8_calibration": "commit-likelihood calibration",
+    "f9_threshold_sweep": "speculation accuracy vs guess threshold",
+    "f10_contention": "abort rate and abort cost vs contention",
+    "f11_admission": "goodput vs offered load with admission control",
+    "f12_spikes": "behaviour under injected latency spikes",
+    "t2_summary": "end-to-end workload summary",
+    "a1_likelihood_ablation": "ablation: likelihood-model variants",
+    "a2_fast_paxos": "ablation: fast vs classic Paxos path",
+    "a3_admission_policy": "ablation: likelihood vs random shedding",
+    "f13_coordinator_failure": "coordinator crash and the orphan-recovery protocol",
+    "s1_scaleout": "sensitivity: commit latency vs number of regions",
+    "s2_jitter": "sensitivity: latency variance (lognormal sigma sweep)",
+    "s3_message_loss": "sensitivity: message loss with deadlines + recovery",
+    "t3_tpcw_mix": "full TPC-W-like mix, per-transaction-type breakdown",
+    "a4_group_commit": "ablation: WAL group commit (syncs saved vs latency added)",
+    "t4_ycsb": "YCSB core workloads (A-F) summary on the PLANET stack",
+}
+
+
+def _load(experiment_id: str):
+    if experiment_id not in ALL_EXPERIMENTS:
+        raise SystemExit(
+            f"unknown experiment {experiment_id!r}; try: python -m repro list"
+        )
+    return importlib.import_module(f"repro.experiments.{experiment_id}")
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    width = max(len(name) for name in ALL_EXPERIMENTS)
+    for name in ALL_EXPERIMENTS:
+        print(f"  {name.ljust(width)}  {_TITLES.get(name, '')}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    targets: List[str] = ALL_EXPERIMENTS if args.all else args.experiments
+    if not targets:
+        raise SystemExit("nothing to run: name experiments or pass --all")
+    json_dir = None
+    if args.json is not None:
+        import pathlib
+
+        json_dir = pathlib.Path(args.json)
+        json_dir.mkdir(parents=True, exist_ok=True)
+    failures = 0
+    for experiment_id in targets:
+        module = _load(experiment_id)
+        result = module.run(seed=args.seed, scale=args.scale)
+        result.print()
+        if json_dir is not None:
+            import json as json_module
+
+            path = json_dir / f"{experiment_id}.json"
+            path.write_text(json_module.dumps(result.to_dict(), indent=2))
+            print(f"wrote {path}")
+        if not result.all_checks_pass:
+            failures += 1
+    if failures:
+        print(f"{failures} experiment(s) had failing shape checks", file=sys.stderr)
+        return 1
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="PLANET (SIGMOD 2014) reproduction experiments",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list", help="list available experiments")
+    list_parser.set_defaults(func=cmd_list)
+
+    run_parser = subparsers.add_parser("run", help="run one or more experiments")
+    run_parser.add_argument("experiments", nargs="*", help="experiment ids")
+    run_parser.add_argument("--all", action="store_true", help="run every experiment")
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="duration/sample scale factor (1.0 = full reproduction)",
+    )
+    run_parser.add_argument(
+        "--json",
+        metavar="DIR",
+        default=None,
+        help="also write each result as JSON into DIR",
+    )
+    run_parser.set_defaults(func=cmd_run)
+    return parser
+
+
+def main(argv: List[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,40 @@
+"""PLANET: Predictive Latency-Aware NEtworked Transactions.
+
+The paper's contribution, layered on the MDCC engine:
+
+* a staged transaction model that exposes commit progress through
+  application callbacks (:mod:`repro.core.transaction`,
+  :mod:`repro.core.stages`);
+* commit-likelihood prediction from live protocol state
+  (:mod:`repro.core.likelihood`, :mod:`repro.core.conflicts`);
+* speculative commits — "guesses" — with compensation on a wrong guess
+  (:mod:`repro.core.speculation`);
+* likelihood-driven admission control (:mod:`repro.core.admission`).
+
+Applications use :class:`~repro.core.client.PlanetClient`.
+"""
+
+from repro.core.admission import AdmissionController, AdmissionPolicy
+from repro.core.callbacks import CallbackSet
+from repro.core.client import PlanetClient
+from repro.core.conflicts import ConflictTracker
+from repro.core.errors import InvalidTransition, PlanetError
+from repro.core.likelihood import CommitLikelihoodModel, LikelihoodConfig
+from repro.core.session import PlanetSession
+from repro.core.stages import TxStage
+from repro.core.transaction import PlanetTransaction
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "CallbackSet",
+    "PlanetClient",
+    "ConflictTracker",
+    "PlanetError",
+    "InvalidTransition",
+    "CommitLikelihoodModel",
+    "LikelihoodConfig",
+    "PlanetSession",
+    "TxStage",
+    "PlanetTransaction",
+]

@@ -1,0 +1,57 @@
+"""Application callbacks on transaction progress.
+
+Callback semantics (matching the paper's programming model):
+
+* ``on_progress(tx, likelihood)`` — fired every time new protocol evidence
+  (a replica vote) updates the predicted commit likelihood.
+* ``on_guess(tx, likelihood)`` — fired once, when the likelihood first
+  crosses the transaction's guess threshold: the application may now respond
+  to the user speculatively.
+* ``on_wrong_guess(tx)`` — compensation hook: the transaction was guessed
+  and then aborted.  ``on_abort`` does NOT additionally fire in this case;
+  the application already acted on the guess and must compensate instead.
+* ``on_commit(tx)`` — the transaction durably committed (guessed or not).
+* ``on_abort(tx)`` — the transaction aborted without having been guessed
+  (conflict, timeout, or admission rejection).
+
+Exceptions raised inside callbacks are deliberately not swallowed: they are
+application bugs and should fail the simulation loudly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+ProgressFn = Callable[[Any, float], None]
+GuessFn = Callable[[Any, float], None]
+TxFn = Callable[[Any], None]
+
+
+@dataclass
+class CallbackSet:
+    on_progress: Optional[ProgressFn] = None
+    on_guess: Optional[GuessFn] = None
+    on_wrong_guess: Optional[TxFn] = None
+    on_commit: Optional[TxFn] = None
+    on_abort: Optional[TxFn] = None
+
+    def fire_progress(self, tx: Any, likelihood: float) -> None:
+        if self.on_progress is not None:
+            self.on_progress(tx, likelihood)
+
+    def fire_guess(self, tx: Any, likelihood: float) -> None:
+        if self.on_guess is not None:
+            self.on_guess(tx, likelihood)
+
+    def fire_wrong_guess(self, tx: Any) -> None:
+        if self.on_wrong_guess is not None:
+            self.on_wrong_guess(tx)
+
+    def fire_commit(self, tx: Any) -> None:
+        if self.on_commit is not None:
+            self.on_commit(tx)
+
+    def fire_abort(self, tx: Any) -> None:
+        if self.on_abort is not None:
+            self.on_abort(tx)

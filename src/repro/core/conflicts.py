@@ -1,0 +1,83 @@
+"""Per-record conflict statistics feeding the likelihood model.
+
+Every decided transaction yields one observation per written record: "did
+this record's option encounter a conflict (any replica rejected it)?".  The
+tracker keeps an EWMA rate per record — recent behaviour dominates, so a
+record that heats up is noticed within tens of transactions — shrunk toward
+a global prior while data is scarce.
+
+The tracker also counts in-flight writers per record, which is the
+contention signal the admission controller's *prior* likelihood uses before
+any votes exist.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.stats.ewma import EwmaRate
+
+
+class ConflictTracker:
+    def __init__(
+        self,
+        alpha: float = 0.05,
+        prior: float = 0.02,
+        prior_strength: float = 10.0,
+    ) -> None:
+        self.alpha = alpha
+        self.prior = prior
+        self.prior_strength = prior_strength
+        self._rates: Dict[str, EwmaRate] = {}
+        self._global = EwmaRate(alpha=alpha, prior=prior, prior_strength=prior_strength)
+        self._inflight: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Outcome observations
+    # ------------------------------------------------------------------
+    def _rate_for(self, key: str) -> EwmaRate:
+        rate = self._rates.get(key)
+        if rate is None:
+            rate = EwmaRate(alpha=self.alpha, prior=self.prior, prior_strength=self.prior_strength)
+            self._rates[key] = rate
+        return rate
+
+    def observe_outcome(self, key: str, conflicted: bool) -> None:
+        """One decided transaction's experience with this record."""
+        self._rate_for(key).update(conflicted)
+        self._global.update(conflicted)
+
+    def conflict_probability(self, key: str) -> float:
+        """Probability a transaction writing this record hits a conflict."""
+        rate = self._rates.get(key)
+        if rate is None or rate.count == 0:
+            return self._global.rate
+        return rate.rate
+
+    # ------------------------------------------------------------------
+    # In-flight contention
+    # ------------------------------------------------------------------
+    def register_inflight(self, key: str) -> None:
+        self._inflight[key] = self._inflight.get(key, 0) + 1
+
+    def unregister_inflight(self, key: str) -> None:
+        remaining = self._inflight.get(key, 0) - 1
+        if remaining > 0:
+            self._inflight[key] = remaining
+        else:
+            self._inflight.pop(key, None)
+
+    def inflight_writers(self, key: str) -> int:
+        return self._inflight.get(key, 0)
+
+    def prior_conflict_probability(self, key: str) -> float:
+        """Pre-submission conflict hazard, scaled by current contention.
+
+        With ``w`` other writers in flight on the record, the chance this
+        option survives every independent hazard is ``(1-c)^(1+w)``; the
+        prior conflict probability is its complement.
+        """
+        base = self.conflict_probability(key)
+        writers = self.inflight_writers(key)
+        survive = (1.0 - base) ** (1 + writers)
+        return 1.0 - survive

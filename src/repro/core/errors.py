@@ -1,0 +1,15 @@
+"""PLANET exceptions."""
+
+from __future__ import annotations
+
+
+class PlanetError(Exception):
+    """Base class for PLANET errors."""
+
+
+class InvalidTransition(PlanetError):
+    """A transaction was moved through an illegal stage transition."""
+
+
+class TransactionSealed(PlanetError):
+    """The transaction was modified after submission."""

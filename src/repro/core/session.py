@@ -1,0 +1,246 @@
+"""A PLANET session: one application's connection to a coordinator.
+
+The session owns the per-client PLANET machinery — conflict statistics,
+likelihood model, admission controller, metrics — and drives transactions
+through: admission check, engine submission with a
+:class:`~repro.core.speculation.SpeculationManager` attached, and bookkeeping
+at completion.
+
+The session works against either engine.  The baseline 2PC coordinator has
+no ``progress()`` seam, so likelihood evaluation (and therefore guessing)
+silently disables itself there — the session still measures latencies and
+outcomes, which is exactly what the baseline comparisons need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.admission import AdmissionAction, AdmissionController, AdmissionPolicy
+from repro.core.conflicts import ConflictTracker
+from repro.core.likelihood import (
+    CommitLikelihoodModel,
+    EmpiricalLikelihoodModel,
+    LikelihoodConfig,
+)
+from repro.core.stages import TxStage
+from repro.core.speculation import SpeculationManager
+from repro.core.transaction import PlanetTransaction
+from repro.ops import AbortReason, Decision, Outcome
+from repro.paxos.ballot import classic_quorum, fast_quorum
+from repro.sim.process import Waiter
+from repro.stats.calibration import CalibrationBins
+from repro.stats.metrics import MetricsRegistry
+
+
+@dataclass
+class PlanetConfig:
+    """Session-level PLANET configuration."""
+
+    likelihood: LikelihoodConfig = field(default_factory=LikelihoodConfig)
+    admission_policy: AdmissionPolicy = AdmissionPolicy.NONE
+    admission_threshold: float = 0.3
+    random_reject_rate: float = 0.0
+    admission_delay_ms: float = 100.0
+    admission_max_delays: int = 3
+    # Session guarantee: reads observe this session's own committed
+    # exclusive writes (the engine re-reads until the local replica caught
+    # up).  Commutative deltas are excluded — their assigned version is not
+    # knowable at the session — and documented as eventually visible.
+    read_your_writes: bool = False
+    default_guess_threshold: Optional[float] = None
+    default_timeout_ms: Optional[float] = None
+    use_empirical_model: bool = False
+
+
+class PlanetSession:
+    def __init__(
+        self,
+        cluster,
+        dc_name: str,
+        config: Optional[PlanetConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        conflicts: Optional[ConflictTracker] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.dc_name = dc_name
+        self.config = config if config is not None else PlanetConfig()
+        self.sim = cluster.sim
+        self.coordinator = cluster.coordinator(dc_name)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # Conflict statistics may be shared across sessions (all app servers
+        # in a DC — or in the experiment, the whole deployment — feed one
+        # tracker, as the paper's predictor aggregates system-wide stats).
+        self.conflicts = conflicts if conflicts is not None else ConflictTracker()
+        self.likelihood_model = CommitLikelihoodModel(
+            conflicts=self.conflicts,
+            latency=cluster.latency,
+            coordinator_dc=self.coordinator.datacenter,
+            config=self.config.likelihood,
+        )
+        self.empirical_model: Optional[EmpiricalLikelihoodModel] = (
+            EmpiricalLikelihoodModel() if self.config.use_empirical_model else None
+        )
+        self.admission = AdmissionController(
+            policy=self.config.admission_policy,
+            threshold=self.config.admission_threshold,
+            random_reject_rate=self.config.random_reject_rate,
+            delay_ms=self.config.admission_delay_ms,
+            max_delays=self.config.admission_max_delays,
+            rng=self.sim.rng.stream(f"admission:{dc_name}"),
+        )
+        self.calibration_first_vote = CalibrationBins()
+        self.calibration_at_guess = CalibrationBins()
+        self.finished: List[PlanetTransaction] = []
+        # Per-key committed-version watermarks for read-your-writes.
+        self._write_watermarks: Dict[str, int] = {}
+        n = len(cluster.replica_ids)
+        self.record_quorum = (
+            fast_quorum(n) if getattr(cluster.config, "use_fast_path", True) else classic_quorum(n)
+        )
+        self._engine_has_progress = hasattr(self.coordinator, "progress")
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def transaction(self) -> PlanetTransaction:
+        tx = PlanetTransaction()
+        if self.config.default_timeout_ms is not None:
+            tx.timeout_ms = self.config.default_timeout_ms
+        if self.config.default_guess_threshold is not None:
+            tx.guess_threshold = self.config.default_guess_threshold
+        return tx
+
+    def submit(self, tx: PlanetTransaction) -> PlanetTransaction:
+        """Run the transaction; callbacks fire as the simulation advances."""
+        tx.waiter = Waiter()
+        self.metrics.increment("submitted")
+        self._attempt_admission(tx, previous_delays=0)
+        return tx
+
+    def _attempt_admission(self, tx: PlanetTransaction, previous_delays: int) -> None:
+        prior = self._prior_likelihood(tx)
+        decision = self.admission.decide(prior, previous_delays=previous_delays)
+        if decision.action is AdmissionAction.REJECT:
+            self._reject(tx)
+            return
+        if decision.action is AdmissionAction.DELAY:
+            # Hold the transaction back; hot records cool as their in-flight
+            # writers decide, so the prior improves on the next attempt.
+            self.metrics.increment("delayed_admission")
+            self.sim.schedule(
+                decision.delay_ms, self._attempt_admission, tx, previous_delays + 1
+            )
+            return
+        tx.transition(TxStage.READING, self.sim.now)
+        for op in tx.writes:
+            self.conflicts.register_inflight(op.key)
+        manager = SpeculationManager(tx, self)
+        request = tx.to_request()
+        if self.config.read_your_writes and self._write_watermarks:
+            touched = set(request.reads) | set(request.write_keys)
+            request.min_versions = {
+                key: self._write_watermarks[key]
+                for key in touched
+                if key in self._write_watermarks
+            }
+        self.coordinator.execute(request, manager)
+
+    def abort(self, tx: PlanetTransaction) -> bool:
+        """Application-initiated abort of an in-flight transaction.
+
+        Returns True if the abort took effect (the ``on_abort`` — or, for a
+        guessed transaction, ``on_wrong_guess`` — callback fires through the
+        normal decision path); False when the transaction already decided.
+        """
+        if tx.decision is not None or tx.stage.terminal:
+            return False
+        return self.coordinator.abort(tx.txid)
+
+    # ------------------------------------------------------------------
+    # Hooks used by the speculation manager
+    # ------------------------------------------------------------------
+    def evaluate_likelihood(self, tx: PlanetTransaction, now: float) -> Optional[float]:
+        if not self._engine_has_progress:
+            return None
+        snapshot = self.coordinator.progress(tx.txid)
+        if snapshot is None:
+            return None
+        if self.empirical_model is not None:
+            return self.empirical_model.likelihood(snapshot, now)
+        return self.likelihood_model.likelihood(snapshot, now)
+
+    def predict_decision_time(self, tx: PlanetTransaction) -> Optional[float]:
+        """Expected absolute simulated time of the transaction's decision.
+
+        None when the transaction is not in its voting phase (not yet
+        submitted, already decided, or running on an engine without the
+        progress seam).
+        """
+        if not self._engine_has_progress:
+            return None
+        snapshot = self.coordinator.progress(tx.txid)
+        if snapshot is None:
+            return None
+        return self.likelihood_model.expected_decision_time(snapshot, self.sim.now)
+
+    def finish_transaction(self, tx: PlanetTransaction, manager: SpeculationManager) -> None:
+        for op in tx.writes:
+            self.conflicts.unregister_inflight(op.key)
+        if self.config.read_your_writes and tx.committed:
+            from repro.ops import WriteOp
+
+            for op in tx.writes:
+                if isinstance(op, WriteOp) and op.read_version is not None:
+                    watermark = op.read_version + 1
+                    if watermark > self._write_watermarks.get(op.key, 0):
+                        self._write_watermarks[op.key] = watermark
+        self.finished.append(tx)
+        self._record_metrics(tx)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _prior_likelihood(self, tx: PlanetTransaction) -> float:
+        keys = [op.key for op in tx.writes]
+        if self.empirical_model is not None:
+            return self.empirical_model.prior_likelihood(keys)
+        return self.likelihood_model.prior_likelihood(keys)
+
+    def _reject(self, tx: PlanetTransaction) -> None:
+        now = self.sim.now
+        tx.transition(TxStage.REJECTED, now)
+        tx.decision = Decision(
+            txid=tx.txid, outcome=Outcome.ABORTED, reason=AbortReason.ADMISSION, decided_at=now
+        )
+        self.metrics.increment("rejected_admission")
+        self.finished.append(tx)
+        tx.callbacks.fire_abort(tx)
+        tx.waiter.wake(tx.decision)
+
+    def _record_metrics(self, tx: PlanetTransaction) -> None:
+        metrics = self.metrics
+        if tx.committed:
+            metrics.increment("committed")
+            latency = tx.commit_latency_ms()
+            if latency is not None:
+                metrics.observe_latency("commit_latency_ms", latency)
+        else:
+            metrics.increment("aborted")
+            metrics.increment(f"aborted_{tx.abort_reason.value}")
+        if tx.was_guessed:
+            metrics.increment("guessed")
+            guess_latency = tx.guess_latency_ms()
+            if guess_latency is not None:
+                metrics.observe_latency("guess_latency_ms", guess_latency)
+            if not tx.committed:
+                metrics.increment("wrong_guesses")
+            if tx.predicted_at_guess is not None:
+                self.calibration_at_guess.update(
+                    min(tx.predicted_at_guess, 1.0), tx.committed
+                )
+        if tx.predicted_at_first_vote is not None:
+            self.calibration_first_vote.update(
+                min(tx.predicted_at_first_vote, 1.0), tx.committed
+            )

@@ -1,0 +1,109 @@
+"""Speculative commit management: the bridge between engine and application.
+
+One :class:`SpeculationManager` rides along with each submitted transaction
+as its :class:`~repro.ops.TxEvents` hook object.  On every replica vote it
+re-evaluates the commit likelihood, feeds the progress callback, and fires
+the *guess* — the speculative commit — the first time the likelihood crosses
+the application's threshold.  At decision time it reconciles the guess
+(commit: the guess was right; abort: fire the compensation callback),
+updates conflict statistics, and reports the finished transaction back to
+the session.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.stages import TxStage
+from repro.core.transaction import PlanetTransaction
+from repro.ops import Decision, TxEvents, TxRequest
+
+
+class SpeculationManager(TxEvents):
+    def __init__(self, tx: PlanetTransaction, session) -> None:
+        self.tx = tx
+        self.session = session
+        # Per-key (accepts, rejects) counts observed through on_vote, kept so
+        # conflict statistics survive the coordinator forgetting the tx.
+        self.vote_counts: Dict[str, List[int]] = {}
+        # Vote-state history per key, consumed by the empirical model.
+        self.state_history: Dict[str, List[Tuple[int, int]]] = {}
+
+    # ------------------------------------------------------------------
+    # TxEvents
+    # ------------------------------------------------------------------
+    def on_reads_complete(self, request: TxRequest, now: float) -> None:
+        self.tx.read_results.update(request.read_results)
+
+    def on_commit_started(self, request: TxRequest, now: float) -> None:
+        self.tx.transition(TxStage.PENDING, now)
+
+    def on_vote(self, request: TxRequest, key: str, accepted: bool, now: float) -> None:
+        counts = self.vote_counts.setdefault(key, [0, 0])
+        history = self.state_history.setdefault(key, [])
+        history.append((counts[0], counts[1]))
+        counts[0 if accepted else 1] += 1
+
+        likelihood = self.session.evaluate_likelihood(self.tx, now)
+        if likelihood is None:
+            return
+        self.tx.likelihood_trace.append((now, likelihood))
+        if self.tx.predicted_at_first_vote is None:
+            self.tx.predicted_at_first_vote = likelihood
+        self.tx.callbacks.fire_progress(self.tx, likelihood)
+
+        threshold = self.tx.guess_threshold
+        if (
+            threshold is not None
+            and self.tx.stage is TxStage.PENDING
+            and likelihood >= threshold
+        ):
+            self.tx.transition(TxStage.GUESSED, now)
+            self.tx.predicted_at_guess = likelihood
+            self.tx.callbacks.fire_guess(self.tx, likelihood)
+
+    def on_decided(self, request: TxRequest, decision: Decision) -> None:
+        tx = self.tx
+        tx.decision = decision
+        now = decision.decided_at
+        was_guessed = tx.stage is TxStage.GUESSED
+        if decision.committed:
+            tx.transition(TxStage.COMMITTED, now)
+        else:
+            tx.transition(TxStage.ABORTED, now)
+        # Session bookkeeping (conflict stats, read-your-writes watermarks,
+        # metrics) runs BEFORE user callbacks: a callback that immediately
+        # issues a follow-up transaction must observe this one's effects.
+        self._update_statistics(decision)
+        self.session.finish_transaction(tx, self)
+        if decision.committed:
+            tx.callbacks.fire_commit(tx)
+        elif was_guessed:
+            tx.callbacks.fire_wrong_guess(tx)
+        else:
+            tx.callbacks.fire_abort(tx)
+        if tx.waiter is not None and not tx.waiter.woken:
+            tx.waiter.wake(decision)
+
+    # ------------------------------------------------------------------
+    def _update_statistics(self, decision: Decision) -> None:
+        conflicts = self.session.conflicts
+        quorum = self.session.record_quorum
+        n = len(self.session.cluster.replica_ids)
+        for key, (accepts, rejects) in self.vote_counts.items():
+            # Label the record's experience by its *decided* fate: chosen
+            # (quorum reached) or doomed (quorum impossible).  A record left
+            # ambiguous at decision time — votes stop arriving once the
+            # transaction decides — teaches us nothing and is skipped.
+            if accepts >= quorum:
+                conflicts.observe_outcome(key, conflicted=False)
+            elif rejects > n - quorum:
+                conflicts.observe_outcome(key, conflicted=True)
+        empirical = self.session.empirical_model
+        if empirical is not None:
+            for key, history in self.state_history.items():
+                accepts, rejects = self.vote_counts[key]
+                quorum = self.session.record_quorum
+                chosen = accepts >= quorum
+                for state in history:
+                    empirical.observe(state[0], state[1], chosen)

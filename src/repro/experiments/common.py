@@ -1,0 +1,138 @@
+"""Shared plumbing for experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.cluster import ClusterConfig
+from repro.core.session import PlanetConfig
+from repro.harness.config import RunConfig, WorkloadConfig
+from repro.harness.report import Table
+from repro.harness.results import RunResult
+from repro.harness.runner import run_experiment
+from repro.workload.keys import HotspotChooser, UniformChooser
+from repro.workload.microbench import MicrobenchSpec, build_microbench_tx
+
+
+@dataclass
+class ShapeCheck:
+    """One assertion about the *shape* of a result (who wins, by how much)."""
+
+    name: str
+    passed: bool
+    detail: str
+
+    def __str__(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return f"[{status}] {self.name}: {self.detail}"
+
+
+def _json_safe(value):
+    """Best-effort conversion of experiment data to JSON-encodable types."""
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+@dataclass
+class ExperimentResult:
+    experiment_id: str
+    title: str
+    tables: List[Table] = field(default_factory=list)
+    figures: List[str] = field(default_factory=list)  # pre-rendered ASCII plots
+    checks: List[ShapeCheck] = field(default_factory=list)
+    data: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def all_checks_pass(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-encodable form: tables, checks, raw data — for downstream
+        tooling (plotting, CI dashboards) via ``python -m repro run --json``."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "tables": [
+                {"title": t.title, "headers": t.headers, "rows": t.rows}
+                for t in self.tables
+            ],
+            "checks": [
+                {"name": c.name, "passed": c.passed, "detail": c.detail}
+                for c in self.checks
+            ],
+            "all_checks_pass": self.all_checks_pass,
+            "data": _json_safe(self.data),
+        }
+
+    def print(self) -> None:
+        banner = f"{self.experiment_id}: {self.title}"
+        print(banner)
+        print("#" * len(banner))
+        print()
+        for table in self.tables:
+            table.print()
+        for figure in self.figures:
+            print(figure)
+            print()
+        for check in self.checks:
+            print(check)
+        print()
+
+
+def microbench_run(
+    seed: int = 0,
+    engine: str = "mdcc",
+    n_keys: int = 2000,
+    hot_keys: Optional[int] = None,
+    hot_fraction: float = 0.9,
+    n_reads: int = 2,
+    n_writes: int = 2,
+    rate_tps: float = 5.0,
+    clients_per_dc: int = 2,
+    duration_ms: float = 30_000.0,
+    warmup_ms: float = 3_000.0,
+    timeout_ms: Optional[float] = 2_000.0,
+    guess_threshold: Optional[float] = 0.95,
+    planet: Optional[PlanetConfig] = None,
+    use_fast_path: bool = True,
+    spikes=(),
+    use_deltas: bool = False,
+) -> RunResult:
+    """One microbenchmark run with the standard five-DC deployment."""
+    if hot_keys is None:
+        chooser = UniformChooser(n_keys)
+    else:
+        chooser = HotspotChooser(n_keys, hot_keys=hot_keys, hot_fraction=hot_fraction)
+    spec = MicrobenchSpec(
+        chooser=chooser,
+        n_reads=n_reads,
+        n_writes=n_writes,
+        use_deltas=use_deltas,
+        timeout_ms=timeout_ms,
+        guess_threshold=guess_threshold,
+    )
+    config = RunConfig(
+        cluster=ClusterConfig(seed=seed, engine=engine, use_fast_path=use_fast_path),
+        planet=planet if planet is not None else PlanetConfig(),
+        workload=WorkloadConfig(
+            tx_factory=lambda session, rng: build_microbench_tx(session, spec, rng),
+            arrival="open",
+            rate_tps=rate_tps,
+            clients_per_dc=clients_per_dc,
+        ),
+        duration_ms=duration_ms,
+        warmup_ms=warmup_ms,
+        spikes=list(spikes),
+    )
+    return run_experiment(config)
+
+
+def scaled(value: float, scale: float, minimum: float) -> float:
+    """Scale an experiment duration/count, never below a usable floor."""
+    return max(value * scale, minimum)

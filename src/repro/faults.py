@@ -1,0 +1,119 @@
+"""Declarative fault injection: one plan object for every failure mode.
+
+The network layer exposes latency spikes, partitions and message loss; the
+cluster exposes coordinator crashes.  A :class:`FaultPlan` bundles a
+schedule of all of them so an experiment (or a chaos test) can declare its
+failure scenario in one place and apply it to any cluster::
+
+    plan = FaultPlan(
+        spikes=[Spike(1_000, 500, multiplier=4.0)],
+        partitions=[PartitionWindow(2_000, 2_400, dc_name="ireland")],
+        coordinator_crashes=[CoordinatorCrash("tokyo", at_ms=3_000)],
+    )
+    plan.apply(cluster)
+
+:func:`chaos_plan` draws a random-but-seeded plan for robustness testing —
+the simulated equivalent of a Jepsen nemesis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from random import Random
+from typing import List
+
+from repro.net.partitions import PartitionWindow
+from repro.workload.spikes import Spike, apply_spikes
+
+
+@dataclass(frozen=True)
+class CoordinatorCrash:
+    dc_name: str
+    at_ms: float
+
+
+@dataclass
+class FaultPlan:
+    spikes: List[Spike] = field(default_factory=list)
+    partitions: List[PartitionWindow] = field(default_factory=list)
+    coordinator_crashes: List[CoordinatorCrash] = field(default_factory=list)
+
+    def apply(self, cluster) -> None:
+        """Install every scheduled fault on the cluster (idempotent-unsafe:
+        apply a plan to a cluster exactly once)."""
+        apply_spikes(cluster.latency, self.spikes)
+        for window in self.partitions:
+            cluster.network.partitions.add_window(window)
+        for crash in self.coordinator_crashes:
+            cluster.sim.schedule(crash.at_ms, cluster.crash_coordinator, crash.dc_name)
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.spikes or self.partitions or self.coordinator_crashes)
+
+    def describe(self) -> str:
+        parts = []
+        for spike in self.spikes:
+            parts.append(
+                f"spike x{spike.multiplier:g} @ {spike.start_ms:.0f}ms "
+                f"for {spike.duration_ms:.0f}ms"
+            )
+        for window in self.partitions:
+            parts.append(
+                f"partition {window.dc_name} @ {window.start_ms:.0f}-{window.end_ms:.0f}ms"
+            )
+        for crash in self.coordinator_crashes:
+            parts.append(f"crash {crash.dc_name} @ {crash.at_ms:.0f}ms")
+        return "; ".join(parts) if parts else "(no faults)"
+
+
+def chaos_plan(
+    dc_names: List[str],
+    duration_ms: float,
+    seed: int = 0,
+    intensity: float = 1.0,
+    allow_crashes: bool = True,
+) -> FaultPlan:
+    """A seeded random fault schedule — the nemesis for chaos tests.
+
+    ``intensity`` scales how many faults are drawn.  Partitions are kept
+    short (below typical recovery TTLs) and never cover a majority of data
+    centers at once, so liveness — not just safety — remains testable.
+    """
+    if duration_ms <= 0:
+        raise ValueError("duration_ms must be positive")
+    if intensity < 0:
+        raise ValueError("intensity must be >= 0")
+    rng = Random(seed)
+    plan = FaultPlan()
+
+    n_spikes = rng.randint(0, max(1, int(3 * intensity)))
+    for _ in range(n_spikes):
+        start = rng.uniform(0.1, 0.8) * duration_ms
+        plan.spikes.append(
+            Spike(
+                start_ms=start,
+                duration_ms=rng.uniform(0.02, 0.10) * duration_ms,
+                multiplier=rng.uniform(2.0, 6.0),
+            )
+        )
+
+    n_partitions = rng.randint(0, max(1, int(2 * intensity)))
+    for _ in range(n_partitions):
+        start = rng.uniform(0.1, 0.8) * duration_ms
+        plan.partitions.append(
+            PartitionWindow(
+                start_ms=start,
+                end_ms=start + rng.uniform(0.02, 0.08) * duration_ms,
+                dc_name=rng.choice(dc_names),
+            )
+        )
+
+    if allow_crashes and rng.random() < min(0.7 * intensity, 0.9):
+        plan.coordinator_crashes.append(
+            CoordinatorCrash(
+                dc_name=rng.choice(dc_names),
+                at_ms=rng.uniform(0.2, 0.7) * duration_ms,
+            )
+        )
+    return plan

@@ -1,0 +1,55 @@
+"""Run configuration: cluster + PLANET + workload + measurement window."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from random import Random
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.cluster import ClusterConfig
+from repro.core.session import PlanetConfig, PlanetSession
+from repro.core.transaction import PlanetTransaction
+from repro.workload.spikes import Spike
+
+TxFactory = Callable[[PlanetSession, Random], PlanetTransaction]
+
+
+@dataclass
+class WorkloadConfig:
+    """How load is generated.
+
+    ``tx_factory`` builds one transaction (see
+    :func:`repro.workload.microbench.build_microbench_tx`).  ``arrival`` is
+    ``"open"`` (Poisson at ``rate_tps`` per client) or ``"closed"``
+    (``clients_per_dc`` users with ``think_time_ms``).
+    """
+
+    tx_factory: TxFactory
+    arrival: str = "open"
+    rate_tps: float = 10.0
+    think_time_ms: float = 0.0
+    clients_per_dc: int = 1
+    client_dcs: Optional[Sequence[str]] = None  # default: every data center
+
+    def __post_init__(self) -> None:
+        if self.arrival not in ("open", "closed"):
+            raise ValueError(f"unknown arrival model {self.arrival!r}")
+        if self.clients_per_dc < 1:
+            raise ValueError("clients_per_dc must be >= 1")
+
+
+@dataclass
+class RunConfig:
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    planet: PlanetConfig = field(default_factory=PlanetConfig)
+    workload: Optional[WorkloadConfig] = None
+    duration_ms: float = 10_000.0
+    warmup_ms: float = 1_000.0
+    initial_data: Optional[Dict[str, object]] = None
+    spikes: List[Spike] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.workload is None:
+            raise ValueError("RunConfig requires a workload")
+        if not 0 <= self.warmup_ms < self.duration_ms:
+            raise ValueError("need 0 <= warmup_ms < duration_ms")

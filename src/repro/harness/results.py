@@ -1,0 +1,170 @@
+"""Run results: everything the figures are computed from.
+
+All headline numbers are derived from the list of transactions that fall in
+the *measured window* (submitted after warmup, before the end of the run),
+never from raw counters — warmup effects (cold conflict statistics, empty
+stores) would otherwise leak into the figures.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.stages import TxStage
+from repro.core.transaction import PlanetTransaction
+from repro.ops import AbortReason
+from repro.stats.calibration import CalibrationBins
+from repro.stats.histogram import LatencyCdf
+
+
+@dataclass
+class RunResult:
+    transactions: List[PlanetTransaction]      # measured window only
+    all_transactions: List[PlanetTransaction]  # including warmup
+    duration_ms: float
+    warmup_ms: float
+    cluster: object
+    sessions: List[object]
+
+    # ------------------------------------------------------------------
+    @property
+    def measured_window_ms(self) -> float:
+        return self.duration_ms - self.warmup_ms
+
+    def committed(self) -> List[PlanetTransaction]:
+        return [tx for tx in self.transactions if tx.committed]
+
+    def aborted(self) -> List[PlanetTransaction]:
+        return [
+            tx
+            for tx in self.transactions
+            if tx.stage in (TxStage.ABORTED, TxStage.REJECTED)
+        ]
+
+    def abort_rate(self) -> float:
+        total = len(self.transactions)
+        return len(self.aborted()) / total if total else math.nan
+
+    def abort_reason_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for tx in self.aborted():
+            reason = tx.abort_reason.value
+            counts[reason] = counts.get(reason, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Rates
+    # ------------------------------------------------------------------
+    def throughput_tps(self) -> float:
+        """Measured-window submissions per second."""
+        return len(self.transactions) / (self.measured_window_ms / 1000.0)
+
+    def goodput_tps(self) -> float:
+        """Measured-window *commits* per second — the admission-control metric."""
+        return len(self.committed()) / (self.measured_window_ms / 1000.0)
+
+    # ------------------------------------------------------------------
+    # Latency
+    # ------------------------------------------------------------------
+    def commit_latency_cdf(self) -> LatencyCdf:
+        cdf = LatencyCdf()
+        for tx in self.committed():
+            latency = tx.commit_latency_ms()
+            if latency is not None:
+                cdf.update(latency)
+        return cdf
+
+    def guess_latency_cdf(self) -> LatencyCdf:
+        cdf = LatencyCdf()
+        for tx in self.transactions:
+            latency = tx.guess_latency_ms()
+            if latency is not None:
+                cdf.update(latency)
+        return cdf
+
+    def response_latency_cdf(self) -> LatencyCdf:
+        """Application response time: guess when one fired, else decision.
+
+        This is the latency an interactive user experiences under the PLANET
+        programming model.
+        """
+        cdf = LatencyCdf()
+        for tx in self.transactions:
+            latency = tx.guess_latency_ms()
+            if latency is None:
+                latency = tx.commit_latency_ms()
+            if latency is not None:
+                cdf.update(latency)
+        return cdf
+
+    # ------------------------------------------------------------------
+    # Speculation quality
+    # ------------------------------------------------------------------
+    def guessed(self) -> List[PlanetTransaction]:
+        return [tx for tx in self.transactions if tx.was_guessed]
+
+    def guessed_fraction(self) -> float:
+        total = len(self.transactions)
+        return len(self.guessed()) / total if total else math.nan
+
+    def wrong_guesses(self) -> List[PlanetTransaction]:
+        return [tx for tx in self.guessed() if not tx.committed]
+
+    def wrong_guess_rate(self) -> float:
+        """Wrong guesses as a fraction of all guesses made."""
+        guessed = self.guessed()
+        if not guessed:
+            return math.nan
+        return len(self.wrong_guesses()) / len(guessed)
+
+    def mean_time_saved_by_guessing_ms(self) -> float:
+        """Mean (decision - guess) gap over correctly guessed transactions."""
+        gaps = [
+            tx.commit_latency_ms() - tx.guess_latency_ms()
+            for tx in self.guessed()
+            if tx.committed and tx.commit_latency_ms() is not None
+        ]
+        return sum(gaps) / len(gaps) if gaps else math.nan
+
+    def commit_latency_ci(self, p: float = 50.0, confidence: float = 0.95):
+        """Bootstrap CI of the p-th commit-latency percentile."""
+        from repro.stats.bootstrap import percentile_ci
+
+        samples = [
+            tx.commit_latency_ms()
+            for tx in self.committed()
+            if tx.commit_latency_ms() is not None
+        ]
+        return percentile_ci(samples, p, confidence=confidence)
+
+    # ------------------------------------------------------------------
+    # Prediction calibration
+    # ------------------------------------------------------------------
+    def calibration(self, at: str = "first_vote", n_bins: int = 10) -> CalibrationBins:
+        bins = CalibrationBins(n_bins)
+        for tx in self.transactions:
+            if at == "first_vote":
+                predicted = tx.predicted_at_first_vote
+            elif at == "guess":
+                predicted = tx.predicted_at_guess
+            else:
+                raise ValueError(f"unknown calibration point {at!r}")
+            if predicted is not None and tx.decision is not None:
+                bins.update(min(predicted, 1.0), tx.committed)
+        return bins
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, float]:
+        commit_cdf = self.commit_latency_cdf()
+        return {
+            "transactions": len(self.transactions),
+            "throughput_tps": self.throughput_tps(),
+            "goodput_tps": self.goodput_tps(),
+            "abort_rate": self.abort_rate(),
+            "commit_p50_ms": commit_cdf.percentile(50),
+            "commit_p99_ms": commit_cdf.percentile(99),
+            "guessed_fraction": self.guessed_fraction(),
+            "wrong_guess_rate": self.wrong_guess_rate(),
+        }

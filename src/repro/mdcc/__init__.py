@@ -1,0 +1,24 @@
+"""MDCC-style optimistic, Paxos-per-record commit engine.
+
+This is the geo-replicated commit protocol PLANET is built on (Kraska et al.,
+EuroSys 2013).  A transaction proposes an *option* for each record it writes;
+every replica of the record votes (accept if the option is compatible with
+the replica's state, reject otherwise); the transaction commits iff every
+option is chosen by a quorum.  With the fast-Paxos path the whole commit
+takes roughly one wide-area round trip to the quorum-forming data centers.
+"""
+
+from repro.mdcc.options import DeltaOption, Option, WriteOption, make_option, validate_option
+from repro.mdcc.coordinator import MdccConfig, MdccCoordinator
+from repro.mdcc.replica import MdccReplica
+
+__all__ = [
+    "Option",
+    "WriteOption",
+    "DeltaOption",
+    "make_option",
+    "validate_option",
+    "MdccConfig",
+    "MdccCoordinator",
+    "MdccReplica",
+]

@@ -1,0 +1,110 @@
+"""Transaction options and their compatibility rules.
+
+An option is a *proposed* update to one record: "if this transaction commits,
+record ``key`` moves from the version I read to this new state".  Replicas
+accept an option only while it is compatible with their local state; an
+accepted option parks in the record's ``pending`` set until the transaction
+decides.
+
+Two option flavours, as in MDCC:
+
+* :class:`WriteOption` — exclusive.  Valid only if the proposer read the
+  current committed version and no other pending option exists on the record.
+* :class:`DeltaOption` — commutative.  Numeric increment/decrement with an
+  escrow floor; any set of deltas whose worst-case projection stays above the
+  floor may be pending simultaneously, which is what keeps hot counters
+  (stock levels, account balances) from conflicting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from repro.ops import DeltaOp, WriteLike, WriteOp
+from repro.storage.record import VersionedRecord
+
+
+@dataclass(frozen=True)
+class WriteOption:
+    txid: str
+    key: str
+    read_version: int
+    new_value: object
+    # Full write-key set of the owning transaction; lets the orphan-recovery
+    # protocol reconstruct the transaction's shape from any accepted option.
+    tx_keys: Tuple[str, ...] = ()
+
+    exclusive = True
+
+
+@dataclass(frozen=True)
+class DeltaOption:
+    txid: str
+    key: str
+    delta: float
+    floor: float
+    tx_keys: Tuple[str, ...] = ()
+
+    exclusive = False
+
+
+Option = Union[WriteOption, DeltaOption]
+
+
+def make_option(txid: str, op: WriteLike) -> Option:
+    """Build the option for one write operation of transaction ``txid``."""
+    if isinstance(op, WriteOp):
+        if op.read_version is None:
+            raise ValueError(f"WriteOp on {op.key!r} missing read_version stamp")
+        return WriteOption(txid=txid, key=op.key, read_version=op.read_version, new_value=op.value)
+    if isinstance(op, DeltaOp):
+        return DeltaOption(txid=txid, key=op.key, delta=op.delta, floor=op.floor)
+    raise TypeError(f"unsupported write operation {op!r}")
+
+
+def validate_option(option: Option, record: VersionedRecord) -> Tuple[bool, str]:
+    """Is ``option`` compatible with this replica's view of the record?
+
+    Retransmission-safe: an option already pending for the same transaction
+    re-validates as acceptable.
+    """
+    existing = record.pending.get(option.txid)
+    if existing is not None:
+        return True, "already pending"
+
+    if isinstance(option, WriteOption):
+        if record.pending:
+            return False, "pending option on record"
+        if option.read_version != record.committed_version:
+            return False, (
+                f"stale read: read v{option.read_version}, "
+                f"committed v{record.committed_version}"
+            )
+        return True, ""
+
+    if isinstance(option, DeltaOption):
+        if any(getattr(pending, "exclusive", True) for pending in record.pending.values()):
+            return False, "pending exclusive option on record"
+        current = record.latest.value
+        if not isinstance(current, (int, float)):
+            return False, f"delta option on non-numeric value {current!r}"
+        # Worst case: every pending delta commits.  Sum only the negative
+        # deltas for the floor check? No — escrow reserves the full effect of
+        # each pending delta, so project them all.
+        projected = current + sum(p.delta for p in record.pending.values()) + option.delta
+        if projected < option.floor:
+            return False, f"escrow floor: projected {projected} < {option.floor}"
+        return True, ""
+
+    return False, f"unknown option type {type(option).__name__}"
+
+
+def apply_option(option: Option, record: VersionedRecord, now: float) -> None:
+    """Install a committed option as the record's next version."""
+    if isinstance(option, WriteOption):
+        record.install(option.new_value, option.txid, now)
+    elif isinstance(option, DeltaOption):
+        record.install(record.latest.value + option.delta, option.txid, now)
+    else:
+        raise TypeError(f"unsupported option {option!r}")

@@ -1,0 +1,117 @@
+"""Wire messages of the MDCC engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from repro.mdcc.options import Option
+from repro.net.messages import Message
+from repro.paxos.ballot import Ballot
+
+
+@dataclass
+class ReadRequest(Message):
+    """Batch read of committed versions, served by the local replica."""
+
+    txid: str = ""
+    keys: Tuple[str, ...] = ()
+
+
+@dataclass
+class ReadReply(Message):
+    txid: str = ""
+    # key -> (version, value)
+    results: Dict[str, Tuple[int, Any]] = field(default_factory=dict)
+
+
+@dataclass
+class Phase1a(Message):
+    """Classic-path prepare for one record."""
+
+    txid: str = ""
+    key: str = ""
+    ballot: Ballot = None  # type: ignore[assignment]
+
+
+@dataclass
+class Phase1b(Message):
+    txid: str = ""
+    key: str = ""
+    ballot: Ballot = None  # type: ignore[assignment]
+    promised: bool = False
+
+
+@dataclass
+class Phase2a(Message):
+    """Propose an option for one record (fast path sends this directly)."""
+
+    txid: str = ""
+    key: str = ""
+    ballot: Ballot = None  # type: ignore[assignment]
+    option: Option = None  # type: ignore[assignment]
+
+
+@dataclass
+class Phase2b(Message):
+    """A replica's vote on one record's option."""
+
+    txid: str = ""
+    key: str = ""
+    ballot: Ballot = None  # type: ignore[assignment]
+    accepted: bool = False
+    reason: str = ""
+
+
+@dataclass
+class DecisionMessage(Message):
+    """Coordinator -> all replicas: commit or abort; apply/discard options."""
+
+    txid: str = ""
+    commit: bool = False
+    options: Tuple[Option, ...] = ()
+
+
+@dataclass
+class SyncDigest(Message):
+    """Anti-entropy: sender's committed version per key it knows."""
+
+    versions: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class SyncUpdates(Message):
+    """Anti-entropy reply: per key, the (version, value, txid) triples the
+    digest sender is missing (or only the latest snapshot if the responder's
+    chain is truncated past the gap — signalled by a non-consecutive jump).
+    """
+
+    updates: Dict[str, Tuple[Tuple[int, Any, str], ...]] = field(default_factory=dict)
+
+
+@dataclass
+class TxStatusQuery(Message):
+    """Replica -> replicas: orphan recovery — what happened to this tx?"""
+
+    txid: str = ""
+    key: str = ""
+
+
+@dataclass
+class TxStatusReply(Message):
+    """Answer to a status query.
+
+    ``status`` is "committed" / "aborted" / "unknown".  On an "unknown"
+    reply the responder *blocks* the transaction (refuses any future accept
+    for it) and reports whether it had itself accepted the queried record's
+    option — the initiator aborts only once enough never-accepted blockers
+    exist that a commit quorum can be proven impossible.
+    """
+
+    txid: str = ""
+    key: str = ""
+    status: str = "unknown"
+    had_accepted: bool = False
+    # The responder's accepted (still-pending) options for this transaction,
+    # across all keys — the raw material a recovery completion needs.
+    accepted_options: Tuple[Option, ...] = ()

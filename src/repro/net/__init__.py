@@ -1,0 +1,28 @@
+"""Wide-area network model: data-center topology, latency, message delivery.
+
+The default topology mirrors the five Amazon EC2 regions PLANET's evaluation
+deployed across (US West, US East, Ireland, Singapore, Tokyo), with a
+round-trip-time matrix shaped like published EC2 inter-region measurements.
+Per-message one-way latency is sampled from a lognormal distribution around
+half the RTT, and experiments can inject latency spikes or degradation
+windows on individual links to reproduce the paper's "unpredictable
+environment" conditions.
+"""
+
+from repro.net.latency import DegradationWindow, LatencyModel
+from repro.net.messages import Message
+from repro.net.network import Network, NetworkNode
+from repro.net.partitions import PartitionManager
+from repro.net.topology import EC2_FIVE_DC, Datacenter, Topology
+
+__all__ = [
+    "Datacenter",
+    "Topology",
+    "EC2_FIVE_DC",
+    "LatencyModel",
+    "DegradationWindow",
+    "Message",
+    "Network",
+    "NetworkNode",
+    "PartitionManager",
+]

@@ -1,0 +1,30 @@
+"""Base message type for everything that crosses the simulated network."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import ClassVar
+
+
+_message_ids = itertools.count(1)
+
+
+@dataclass
+class Message:
+    """Base class for network messages.
+
+    Concrete protocol messages (Paxos, MDCC, 2PC) subclass this near the
+    protocol code that handles them.  ``sender`` and ``recipient`` are node
+    ids assigned by :class:`~repro.net.network.Network`.  ``msg_id`` is unique
+    per simulation run for tracing.
+    """
+
+    sender: str = field(default="", kw_only=True)
+    recipient: str = field(default="", kw_only=True)
+    sent_at: float = field(default=0.0, kw_only=True)
+    msg_id: int = field(default_factory=lambda: next(_message_ids), kw_only=True)
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__

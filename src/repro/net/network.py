@@ -1,0 +1,109 @@
+"""Message delivery between simulated nodes."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.net.latency import LatencyModel
+from repro.net.messages import Message
+from repro.net.partitions import PartitionManager
+from repro.net.topology import Datacenter, Topology
+from repro.sim.kernel import Simulator
+
+
+class NetworkNode:
+    """Anything that can receive messages: storage node, coordinator, client.
+
+    Subclasses override :meth:`receive`.  Nodes register with the
+    :class:`Network` which assigns delivery.
+    """
+
+    def __init__(self, node_id: str, datacenter: Datacenter) -> None:
+        self.node_id = node_id
+        self.datacenter = datacenter
+        self.network: Optional["Network"] = None
+
+    def receive(self, message: Message) -> None:
+        raise NotImplementedError
+
+    def send(self, recipient_id: str, message: Message) -> None:
+        if self.network is None:
+            raise RuntimeError(f"node {self.node_id} is not attached to a network")
+        self.network.send(self.node_id, recipient_id, message)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.node_id}@{self.datacenter.name}>"
+
+
+class Network:
+    """Routes messages between registered nodes with sampled latency.
+
+    Message loss comes from two sources: a uniform ``loss_probability`` and
+    the :class:`PartitionManager` schedule.  Lost messages vanish silently —
+    exactly what a sender experiences in a real deployment; protocol layers
+    must use timeouts.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        latency: Optional[LatencyModel] = None,
+        loss_probability: float = 0.0,
+    ) -> None:
+        if not 0.0 <= loss_probability < 1.0:
+            raise ValueError("loss_probability must be in [0, 1)")
+        self.sim = sim
+        self.topology = topology
+        self.latency = latency if latency is not None else LatencyModel(topology)
+        self.loss_probability = loss_probability
+        self.partitions = PartitionManager()
+        self._nodes: Dict[str, NetworkNode] = {}
+        self._rng = sim.rng.stream("network")
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+
+    # ------------------------------------------------------------------
+    def register(self, node: NetworkNode) -> NetworkNode:
+        if node.node_id in self._nodes:
+            raise ValueError(f"duplicate node id {node.node_id!r}")
+        self._nodes[node.node_id] = node
+        node.network = self
+        return node
+
+    def node(self, node_id: str) -> NetworkNode:
+        return self._nodes[node_id]
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    # ------------------------------------------------------------------
+    def send(self, sender_id: str, recipient_id: str, message: Message) -> None:
+        """Send ``message``; it is delivered later (or dropped) by the kernel."""
+        sender = self._nodes[sender_id]
+        recipient = self._nodes[recipient_id]
+        message.sender = sender_id
+        message.recipient = recipient_id
+        message.sent_at = self.sim.now
+        self.messages_sent += 1
+
+        if self.partitions.drops(self.sim.now, sender.datacenter, recipient.datacenter):
+            self.messages_dropped += 1
+            return
+        if self.loss_probability > 0 and self._rng.random() < self.loss_probability:
+            self.messages_dropped += 1
+            return
+
+        delay = self.latency.sample_ms(
+            sender.datacenter, recipient.datacenter, self.sim.now, self._rng
+        )
+        self.sim.schedule(delay, self._deliver, recipient_id, message)
+
+    def _deliver(self, recipient_id: str, message: Message) -> None:
+        node = self._nodes.get(recipient_id)
+        if node is None:  # node may have been torn down mid-flight
+            self.messages_dropped += 1
+            return
+        self.messages_delivered += 1
+        node.receive(message)

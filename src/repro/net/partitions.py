@@ -1,0 +1,52 @@
+"""Network partitions: temporarily unreachable data centers.
+
+A partition drops (rather than delays) messages, modelling the "fail
+unexpectedly" part of the paper's motivation.  Partitions are scheduled as
+half-open windows, like latency degradations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.net.topology import Datacenter
+
+
+@dataclass(frozen=True)
+class PartitionWindow:
+    """During ``[start_ms, end_ms)``, ``dc_name`` is cut off from everyone.
+
+    If ``peer_name`` is given, only the (dc, peer) link is cut.
+    """
+
+    start_ms: float
+    end_ms: float
+    dc_name: str
+    peer_name: Optional[str] = None
+
+    def drops(self, now: float, src: Datacenter, dst: Datacenter) -> bool:
+        if not (self.start_ms <= now < self.end_ms):
+            return False
+        names = {src.name, dst.name}
+        if self.dc_name not in names:
+            return False
+        if self.peer_name is not None and self.peer_name not in names:
+            return False
+        return src.name != dst.name  # intra-DC traffic always survives
+
+
+class PartitionManager:
+    """Holds the partition schedule and answers "does this message die?"."""
+
+    def __init__(self) -> None:
+        self._windows: List[PartitionWindow] = []
+
+    def add_window(self, window: PartitionWindow) -> None:
+        self._windows.append(window)
+
+    def clear(self) -> None:
+        self._windows.clear()
+
+    def drops(self, now: float, src: Datacenter, dst: Datacenter) -> bool:
+        return any(window.drops(now, src, dst) for window in self._windows)

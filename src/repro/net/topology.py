@@ -1,0 +1,135 @@
+"""Data-center topology and the inter-DC round-trip-time matrix."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Datacenter:
+    """A named data center (EC2 region in the paper's deployment)."""
+
+    name: str
+    index: int
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Topology:
+    """A set of data centers plus the symmetric RTT matrix between them.
+
+    RTTs are in milliseconds.  ``intra_dc_rtt_ms`` is the round-trip between
+    two machines inside the same data center.
+    """
+
+    def __init__(
+        self,
+        names: Sequence[str],
+        rtt_ms: Sequence[Sequence[float]],
+        intra_dc_rtt_ms: float = 1.0,
+    ) -> None:
+        if len(rtt_ms) != len(names):
+            raise ValueError("RTT matrix must be square over the data centers")
+        for i, row in enumerate(rtt_ms):
+            if len(row) != len(names):
+                raise ValueError("RTT matrix must be square over the data centers")
+            if row[i] != 0:
+                raise ValueError(f"diagonal of RTT matrix must be 0, got {row[i]} at {i}")
+        for i in range(len(names)):
+            for j in range(len(names)):
+                if rtt_ms[i][j] != rtt_ms[j][i]:
+                    raise ValueError("RTT matrix must be symmetric")
+                if i != j and rtt_ms[i][j] <= 0:
+                    raise ValueError("inter-DC RTTs must be positive")
+        if intra_dc_rtt_ms <= 0:
+            raise ValueError("intra_dc_rtt_ms must be positive")
+        self.datacenters: List[Datacenter] = [
+            Datacenter(name, index) for index, name in enumerate(names)
+        ]
+        self._by_name: Dict[str, Datacenter] = {dc.name: dc for dc in self.datacenters}
+        self._rtt = [list(row) for row in rtt_ms]
+        self.intra_dc_rtt_ms = intra_dc_rtt_ms
+
+    def __len__(self) -> int:
+        return len(self.datacenters)
+
+    def __iter__(self):
+        return iter(self.datacenters)
+
+    def datacenter(self, name: str) -> Datacenter:
+        return self._by_name[name]
+
+    def rtt_ms(self, a: Datacenter, b: Datacenter) -> float:
+        """Base round-trip time between (machines in) two data centers."""
+        if a.index == b.index:
+            return self.intra_dc_rtt_ms
+        return self._rtt[a.index][b.index]
+
+    def one_way_ms(self, a: Datacenter, b: Datacenter) -> float:
+        """Base one-way latency: half the round trip."""
+        return self.rtt_ms(a, b) / 2.0
+
+    def sorted_peers(self, origin: Datacenter) -> List[Tuple[Datacenter, float]]:
+        """All data centers (including ``origin``) sorted by RTT from it."""
+        pairs = [(dc, self.rtt_ms(origin, dc)) for dc in self.datacenters]
+        pairs.sort(key=lambda pair: (pair[1], pair[0].index))
+        return pairs
+
+    def quorum_rtt_ms(self, origin: Datacenter, quorum_size: int) -> float:
+        """RTT to the ``quorum_size``-th closest data center from ``origin``.
+
+        This is the floor on a Paxos round started at ``origin`` that must
+        hear from ``quorum_size`` replicas (one per DC), and the yardstick
+        the latency experiments compare measured commit times against.
+        """
+        peers = self.sorted_peers(origin)
+        if quorum_size < 1 or quorum_size > len(peers):
+            raise ValueError(f"quorum_size {quorum_size} out of range 1..{len(peers)}")
+        return peers[quorum_size - 1][1]
+
+
+#: RTT matrix (ms) shaped like published inter-region EC2 measurements for the
+#: five regions used in PLANET's evaluation.  Order: us_west, us_east,
+#: ireland, singapore, tokyo.
+_EC2_NAMES = ("us_west", "us_east", "ireland", "singapore", "tokyo")
+_EC2_RTT = (
+    (0.0, 75.0, 155.0, 175.0, 115.0),
+    (75.0, 0.0, 80.0, 235.0, 165.0),
+    (155.0, 80.0, 0.0, 290.0, 265.0),
+    (175.0, 235.0, 290.0, 0.0, 75.0),
+    (115.0, 165.0, 265.0, 75.0, 0.0),
+)
+
+EC2_FIVE_DC = Topology(_EC2_NAMES, _EC2_RTT, intra_dc_rtt_ms=1.0)
+
+
+def make_synthetic_topology(
+    n_datacenters: int,
+    seed: int = 0,
+    base_rtt_ms: float = 60.0,
+    step_rtt_ms: float = 35.0,
+    max_rtt_ms: float = 400.0,
+) -> Topology:
+    """A deterministic synthetic *expansion* topology with ``n_datacenters``.
+
+    Models how deployments actually grow: each new region is farther from
+    the original core (dc0) than the last, so RTT(i, j) grows roughly
+    linearly in ``|i - j|`` (plus seeded noise, clamped at ``max_rtt_ms``).
+    Used by the scale-out sensitivity study (S1), where the claim under test
+    is that larger quorums reach farther regions.
+    """
+    import random as _random
+
+    if n_datacenters < 1:
+        raise ValueError("n_datacenters must be >= 1")
+    rng = _random.Random(seed)
+    names = [f"dc{i}" for i in range(n_datacenters)]
+    rtt = [[0.0] * n_datacenters for _ in range(n_datacenters)]
+    for i in range(n_datacenters):
+        for j in range(i + 1, n_datacenters):
+            base = base_rtt_ms + step_rtt_ms * (abs(i - j) - 1)
+            value = min(max_rtt_ms, max(base_rtt_ms * 0.5, base * rng.uniform(0.9, 1.1)))
+            rtt[i][j] = rtt[j][i] = round(value, 1)
+    return Topology(names, rtt, intra_dc_rtt_ms=1.0)

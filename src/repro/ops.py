@@ -1,0 +1,130 @@
+"""Engine-agnostic transaction operations, outcomes and event hooks.
+
+Both commit engines (the MDCC-style optimistic engine PLANET runs on, and the
+two-phase-commit baseline) consume the same :class:`TxRequest` and report
+progress through the same :class:`TxEvents` hook object, which is how the
+PLANET layer observes protocol internals without the engines depending on it.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+
+class Outcome(enum.Enum):
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class AbortReason(enum.Enum):
+    NONE = "none"
+    CONFLICT = "conflict"            # optimistic option validation failed
+    TIMEOUT = "timeout"              # deadline expired before a decision
+    ADMISSION = "admission"          # rejected by PLANET's admission control
+    LOCK_TIMEOUT = "lock_timeout"    # 2PC lock wait exceeded
+    BALLOT = "ballot"                # lost a Paxos ballot race
+    CLIENT = "client"                # application-initiated abort
+
+
+@dataclass
+class WriteOp:
+    """Blind or read-modify write of ``key`` to ``value``.
+
+    ``read_version`` is stamped by the session after the read phase; the
+    optimistic engine validates it against the replica's committed version.
+    """
+
+    key: str
+    value: Any
+    read_version: Optional[int] = None
+
+
+@dataclass
+class DeltaOp:
+    """Commutative increment of a numeric record, with an escrow floor.
+
+    ``delta`` may be negative (e.g. decrementing stock); the engine accepts
+    it only while the projected value stays >= ``floor``, which is what lets
+    hot counters commute instead of conflicting.
+    """
+
+    key: str
+    delta: float
+    floor: float = 0.0
+
+
+WriteLike = Union[WriteOp, DeltaOp]
+
+_txid_counter = itertools.count(1)
+
+
+def next_txid(prefix: str = "tx") -> str:
+    return f"{prefix}-{next(_txid_counter)}"
+
+
+@dataclass
+class TxRequest:
+    """A transaction as handed to a commit engine.
+
+    ``reads`` are keys whose committed values the application wants;
+    ``writes`` are the operations to commit atomically.  ``read_results``
+    and ``read_versions`` are filled by the engine during the read phase.
+
+    ``min_versions`` requests session guarantees: the engine re-reads any
+    key whose local replica is still behind the given committed version —
+    how the PLANET session implements read-your-writes (the replica catches
+    up as soon as the decision it is missing arrives).
+    """
+
+    txid: str
+    reads: List[str] = field(default_factory=list)
+    writes: List[WriteLike] = field(default_factory=list)
+    read_results: Dict[str, Any] = field(default_factory=dict)
+    read_versions: Dict[str, int] = field(default_factory=dict)
+    min_versions: Dict[str, int] = field(default_factory=dict)
+    submitted_at: float = 0.0
+    deadline_ms: Optional[float] = None
+
+    @property
+    def write_keys(self) -> List[str]:
+        return [op.key for op in self.writes]
+
+    def is_read_only(self) -> bool:
+        return not self.writes
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Final engine verdict on a transaction."""
+
+    txid: str
+    outcome: Outcome
+    reason: AbortReason = AbortReason.NONE
+    decided_at: float = 0.0
+
+    @property
+    def committed(self) -> bool:
+        return self.outcome is Outcome.COMMITTED
+
+
+class TxEvents:
+    """Progress hooks an engine calls while processing one transaction.
+
+    The default implementation ignores everything; PLANET's speculation layer
+    overrides these to drive likelihood prediction and guess callbacks.
+    """
+
+    def on_reads_complete(self, request: TxRequest, now: float) -> None:
+        """The read phase finished; ``request.read_results`` is populated."""
+
+    def on_commit_started(self, request: TxRequest, now: float) -> None:
+        """Options/prepares have been sent to the replicas."""
+
+    def on_vote(self, request: TxRequest, key: str, accepted: bool, now: float) -> None:
+        """One replica voted on one record's option (or prepare)."""
+
+    def on_decided(self, request: TxRequest, decision: Decision) -> None:
+        """The engine reached a final commit/abort decision."""

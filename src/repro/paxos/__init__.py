@@ -1,0 +1,22 @@
+"""Paxos-per-record consensus primitives.
+
+MDCC runs one Paxos instance per record to get transaction *options* accepted
+by a quorum of that record's replicas.  This package provides the pieces:
+ballots, quorum arithmetic, the replica-side option acceptor, the
+coordinator-side ballot generator, and the vote-counting learner.
+"""
+
+from repro.paxos.ballot import Ballot, classic_quorum, fast_quorum
+from repro.paxos.acceptor import AcceptResult, OptionAcceptor
+from repro.paxos.learner import QuorumTracker
+from repro.paxos.proposer import BallotGenerator
+
+__all__ = [
+    "Ballot",
+    "classic_quorum",
+    "fast_quorum",
+    "OptionAcceptor",
+    "AcceptResult",
+    "QuorumTracker",
+    "BallotGenerator",
+]

@@ -1,0 +1,78 @@
+"""Replica-side per-record acceptor.
+
+An acceptor guards one record replica.  It tracks the highest ballot it has
+promised, and the set of options it has accepted for in-flight transactions.
+Whether a proposed option is *compatible* with the replica's state (correct
+read version, no conflicting pending option, escrow bounds for commutative
+deltas) is decided by a validator callable supplied by the commit protocol —
+the acceptor itself is protocol-agnostic Paxos machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.paxos.ballot import Ballot
+
+
+@dataclass(frozen=True)
+class AcceptResult:
+    """Outcome of an accept request at one acceptor."""
+
+    accepted: bool
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class AcceptedOption:
+    ballot: Ballot
+    option: Any
+
+
+Validator = Callable[[Any], Tuple[bool, str]]
+
+
+class OptionAcceptor:
+    """Paxos acceptor state for one record on one replica."""
+
+    __slots__ = ("key", "promised", "accepted")
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        self.promised: Optional[Ballot] = None
+        self.accepted: Dict[str, AcceptedOption] = {}
+
+    # ------------------------------------------------------------------
+    def handle_prepare(self, ballot: Ballot) -> Tuple[bool, List[AcceptedOption]]:
+        """Phase 1a: promise not to accept lower ballots.
+
+        Returns (promised?, previously accepted options) — the proposer must
+        re-propose the highest-ballot accepted options it hears about.
+        """
+        if self.promised is not None and ballot < self.promised:
+            return False, list(self.accepted.values())
+        self.promised = ballot
+        return True, list(self.accepted.values())
+
+    def handle_accept(self, ballot: Ballot, txid: str, option: Any, validate: Validator) -> AcceptResult:
+        """Phase 2a: accept ``option`` for transaction ``txid`` if permitted.
+
+        A fast ballot skips the promise check only in the sense that any
+        coordinator may use the well-known fast ballot; it still must not be
+        lower than a promised classic ballot (a classic round revokes the
+        fast round).  Option compatibility is the protocol validator's call.
+        """
+        if self.promised is not None and ballot < self.promised:
+            return AcceptResult(False, f"ballot {ballot} below promised {self.promised}")
+        ok, reason = validate(option)
+        if not ok:
+            return AcceptResult(False, reason)
+        if not ballot.fast:
+            self.promised = ballot
+        self.accepted[txid] = AcceptedOption(ballot, option)
+        return AcceptResult(True)
+
+    def clear(self, txid: str) -> None:
+        """Forget the option for a decided transaction."""
+        self.accepted.pop(txid, None)

@@ -1,0 +1,54 @@
+"""Ballots and quorum arithmetic."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import total_ordering
+
+
+@total_ordering
+@dataclass(frozen=True)
+class Ballot:
+    """A Paxos ballot number.
+
+    Ballots order by ``(counter, proposer_id)``; the proposer id breaks ties
+    so two coordinators can never mint equal ballots.  ``fast`` marks a fast
+    ballot (options may be proposed directly by any coordinator without a
+    prepare phase, at the price of a larger quorum).
+    """
+
+    counter: int
+    proposer_id: str
+    fast: bool = False
+
+    def _key(self):
+        return (self.counter, self.proposer_id)
+
+    def __lt__(self, other: "Ballot") -> bool:
+        if not isinstance(other, Ballot):
+            return NotImplemented
+        return self._key() < other._key()
+
+    def __repr__(self) -> str:
+        kind = "fast" if self.fast else "classic"
+        return f"<Ballot {self.counter}.{self.proposer_id} {kind}>"
+
+
+def classic_quorum(n: int) -> int:
+    """Majority quorum: tolerates ``(n-1)//2`` failures."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return n // 2 + 1
+
+def fast_quorum(n: int) -> int:
+    """Minimal Fast-Paxos quorum: smallest f with ``2f - n >= classic(n)``.
+
+    Any two fast quorums must intersect in a classic quorum, which is what
+    makes leaderless (single round-trip) acceptance safe.  This evaluates to
+    ``ceil((n + classic(n)) / 2)`` — e.g. 4 of the paper's five replicas.
+    (The often-quoted ``ceil(3n/4)`` is one too small for n = 4k.)
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    return math.ceil((n + classic_quorum(n)) / 2)

@@ -1,0 +1,28 @@
+"""Coordinator-side ballot minting."""
+
+from __future__ import annotations
+
+from repro.paxos.ballot import Ballot
+
+#: The distinguished counter every coordinator may use for fast rounds
+#: without coordination (fast ballots are pre-agreed in Fast Paxos).
+FAST_BALLOT_COUNTER = 0
+
+
+class BallotGenerator:
+    """Mints ballots for one proposer (coordinator).
+
+    The fast ballot is shared and constant; classic ballots are monotonically
+    increasing per proposer and globally ordered by (counter, proposer_id).
+    """
+
+    def __init__(self, proposer_id: str) -> None:
+        self.proposer_id = proposer_id
+        self._counter = FAST_BALLOT_COUNTER
+
+    def fast_ballot(self) -> Ballot:
+        return Ballot(FAST_BALLOT_COUNTER, "", fast=True)
+
+    def next_classic(self) -> Ballot:
+        self._counter += 1
+        return Ballot(self._counter, self.proposer_id, fast=False)

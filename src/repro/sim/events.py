@@ -1,0 +1,100 @@
+"""Event objects and the time-ordered event queue."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+
+class Event:
+    """A scheduled callback.
+
+    Events order by ``(time, seq)``; ``seq`` is a monotonically increasing
+    tie-breaker so that two events scheduled for the same instant fire in
+    scheduling order, which keeps runs deterministic.
+
+    ``daemon`` events are background work (anti-entropy ticks, periodic
+    monitors): they run like any other event but do not keep the simulation
+    alive — ``Simulator.run()`` without a horizon stops once only daemons
+    remain.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "daemon")
+
+    def __init__(
+        self, time: float, seq: int, fn: Callable[..., Any], args: tuple,
+        daemon: bool = False,
+    ):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        self.daemon = daemon
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (it stays in the heap until popped)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        state = " cancelled" if self.cancelled else ""
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"<Event t={self.time:.3f} {name}{state}>"
+
+
+class EventQueue:
+    """Binary-heap priority queue of :class:`Event` ordered by fire time.
+
+    Tracks the number of pending non-daemon events so the simulator can
+    drain "real" work without being kept alive by periodic background
+    daemons.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._foreground = 0  # pending non-daemon events (incl. cancelled)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def foreground_count(self) -> int:
+        """Pending non-daemon events (cancelled ones may be overcounted
+        until they are lazily discarded, which only delays — never prevents —
+        drain detection)."""
+        return self._foreground
+
+    def push(
+        self, time: float, fn: Callable[..., Any], args: tuple = (), daemon: bool = False
+    ) -> Event:
+        event = Event(time, next(self._counter), fn, args, daemon=daemon)
+        heapq.heappush(self._heap, event)
+        if not daemon:
+            self._foreground += 1
+        return event
+
+    def _discard(self, event: Event) -> None:
+        if not event.daemon:
+            self._foreground -= 1
+
+    def pop(self) -> Optional[Event]:
+        """Pop the earliest non-cancelled event, or None if the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            self._discard(event)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Fire time of the earliest pending event, or None."""
+        while self._heap and self._heap[0].cancelled:
+            self._discard(heapq.heappop(self._heap))
+        if self._heap:
+            return self._heap[0].time
+        return None

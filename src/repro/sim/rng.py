@@ -1,0 +1,43 @@
+"""Named, independent random streams derived from one root seed.
+
+Experiments must be exactly reproducible: the same root seed has to produce
+the same network jitter, the same workload keys and the same client arrival
+times, *independently* of how many extra draws any one component makes.  We
+therefore give each component its own stream, keyed by a stable name, with the
+stream seed derived from ``sha256(root_seed || name)``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+
+def derive_seed(root_seed: int, name: str) -> int:
+    """Derive a 64-bit stream seed from the root seed and a stream name."""
+    digest = hashlib.sha256(f"{root_seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RngRegistry:
+    """Factory and cache of named :class:`random.Random` streams."""
+
+    def __init__(self, root_seed: int = 0) -> None:
+        self.root_seed = root_seed
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it on first use."""
+        stream = self._streams.get(name)
+        if stream is None:
+            stream = random.Random(derive_seed(self.root_seed, name))
+            self._streams[name] = stream
+        return stream
+
+    def fork(self, name: str) -> "RngRegistry":
+        """A child registry whose streams are independent of this one's."""
+        return RngRegistry(derive_seed(self.root_seed, f"fork:{name}"))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._streams

@@ -1,0 +1,75 @@
+"""Calibration (reliability) measurement for probability predictions.
+
+Experiment F8 asks: when PLANET predicts a commit likelihood of ``p``, do
+about ``p`` of those transactions actually commit?  We bucket predictions
+into equal-width bins and compare each bin's mean prediction with its
+observed commit frequency; the summary statistic is the expected calibration
+error (ECE), the prediction-weighted mean absolute gap.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass
+class CalibrationRow:
+    bin_low: float
+    bin_high: float
+    count: int
+    mean_predicted: float
+    observed_rate: float
+
+    @property
+    def gap(self) -> float:
+        return abs(self.mean_predicted - self.observed_rate)
+
+
+class CalibrationBins:
+    def __init__(self, n_bins: int = 10) -> None:
+        if n_bins < 1:
+            raise ValueError("n_bins must be >= 1")
+        self.n_bins = n_bins
+        self._counts = [0] * n_bins
+        self._predicted_sums = [0.0] * n_bins
+        self._outcome_sums = [0] * n_bins
+
+    def update(self, predicted: float, committed: bool) -> None:
+        if not 0.0 <= predicted <= 1.0:
+            raise ValueError(f"predicted probability {predicted} outside [0, 1]")
+        index = min(int(predicted * self.n_bins), self.n_bins - 1)
+        self._counts[index] += 1
+        self._predicted_sums[index] += predicted
+        self._outcome_sums[index] += 1 if committed else 0
+
+    @property
+    def total(self) -> int:
+        return sum(self._counts)
+
+    def rows(self) -> List[CalibrationRow]:
+        rows = []
+        width = 1.0 / self.n_bins
+        for i in range(self.n_bins):
+            count = self._counts[i]
+            rows.append(
+                CalibrationRow(
+                    bin_low=i * width,
+                    bin_high=(i + 1) * width,
+                    count=count,
+                    mean_predicted=self._predicted_sums[i] / count if count else math.nan,
+                    observed_rate=self._outcome_sums[i] / count if count else math.nan,
+                )
+            )
+        return rows
+
+    def expected_calibration_error(self) -> float:
+        total = self.total
+        if total == 0:
+            return math.nan
+        ece = 0.0
+        for row in self.rows():
+            if row.count:
+                ece += (row.count / total) * row.gap
+        return ece

@@ -1,0 +1,36 @@
+"""Fixed-size uniform reservoir sampling (Vitter's algorithm R)."""
+
+from __future__ import annotations
+
+from random import Random
+from typing import Generic, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class ReservoirSample(Generic[T]):
+    """Keeps a uniform sample of at most ``capacity`` items from a stream."""
+
+    def __init__(self, capacity: int, rng: Optional[Random] = None) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._rng = rng if rng is not None else Random(0)
+        self._items: List[T] = []
+        self.seen = 0
+
+    def update(self, item: T) -> None:
+        self.seen += 1
+        if len(self._items) < self.capacity:
+            self._items.append(item)
+            return
+        index = self._rng.randrange(self.seen)
+        if index < self.capacity:
+            self._items[index] = item
+
+    @property
+    def items(self) -> List[T]:
+        return list(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)

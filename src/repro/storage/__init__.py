@@ -1,0 +1,13 @@
+"""Replicated storage substrate: versioned records, per-node stores, WAL.
+
+Every record is fully replicated — one storage node per data center holds a
+replica.  Commit protocols (MDCC options, 2PC locks) layer their own state on
+top of the versioned record structures defined here.
+"""
+
+from repro.storage.record import RecordVersion, VersionedRecord
+from repro.storage.store import KVStore
+from repro.storage.wal import WriteAheadLog
+from repro.storage.node import StorageNode
+
+__all__ = ["RecordVersion", "VersionedRecord", "KVStore", "WriteAheadLog", "StorageNode"]

@@ -1,0 +1,59 @@
+"""Storage node: a network node holding a store, a WAL and protocol handlers.
+
+The node itself is protocol-agnostic.  Commit protocols (MDCC, 2PC) attach
+replica-side logic by registering a handler per message type; the node
+dispatches incoming messages to the matching handler.  This keeps the
+substrate/protocol layering strict and lets one simulated cluster host
+different engines in different experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Type
+
+from repro.net.messages import Message
+from repro.net.network import NetworkNode
+from repro.net.topology import Datacenter
+from repro.sim.kernel import Simulator
+from repro.storage.store import KVStore
+from repro.storage.wal import WriteAheadLog
+
+Handler = Callable[[Message], None]
+
+
+class StorageNode(NetworkNode):
+    """One replica server (one per data center in the paper's deployment)."""
+
+    def __init__(
+        self,
+        node_id: str,
+        datacenter: Datacenter,
+        sim: Simulator,
+        default_value: Any = 0,
+        wal_sync_delay_ms: float = 0.5,
+        wal_batch_window_ms: float = 0.0,
+    ) -> None:
+        super().__init__(node_id, datacenter)
+        self.sim = sim
+        self.store = KVStore(default_value=default_value)
+        self.wal = WriteAheadLog(
+            sync_delay_ms=wal_sync_delay_ms, batch_window_ms=wal_batch_window_ms
+        )
+        self._handlers: Dict[Type[Message], Handler] = {}
+
+    def register_handler(self, message_type: Type[Message], handler: Handler) -> None:
+        if message_type in self._handlers:
+            raise ValueError(f"handler already registered for {message_type.__name__}")
+        self._handlers[message_type] = handler
+
+    def receive(self, message: Message) -> None:
+        handler = self._handlers.get(type(message))
+        if handler is None:
+            raise RuntimeError(
+                f"{self.node_id} has no handler for {type(message).__name__}"
+            )
+        handler(message)
+
+    def reply_after_sync(self, durability_delay_ms: float, recipient_id: str, message: Message) -> None:
+        """Send ``message`` once the WAL append backing it is durable."""
+        self.sim.schedule(durability_delay_ms, self.send, recipient_id, message)

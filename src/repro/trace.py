@@ -1,0 +1,99 @@
+"""Per-transaction timelines: reconstruct and render what happened when.
+
+A :class:`~repro.core.transaction.PlanetTransaction` carries everything
+needed to audit its life after the fact — stage transition timestamps, the
+likelihood trace (one point per replica vote), and the decision.  This
+module turns that into a structured timeline and an ASCII rendering, used
+by examples and debugging sessions::
+
+    t=   0.00 ms | submitted (reading)
+    t=   1.52 ms | options proposed (pending)
+    t=   2.56 ms | vote -> likelihood 0.975
+    t=   2.56 ms | GUESS at p=0.975
+    ...
+    t= 173.78 ms | COMMITTED (latency 173.78 ms)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.stages import TxStage
+from repro.core.transaction import PlanetTransaction
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    time_ms: float
+    label: str
+    detail: str = ""
+
+    def __str__(self) -> str:
+        text = f"t={self.time_ms:9.2f} ms | {self.label}"
+        if self.detail:
+            text += f" ({self.detail})"
+        return text
+
+
+_STAGE_LABELS = {
+    TxStage.READING: "submitted, read phase started",
+    TxStage.PENDING: "options proposed to all replicas",
+    TxStage.GUESSED: "GUESS: speculative commit reported to the application",
+    TxStage.COMMITTED: "COMMITTED: durable at quorum",
+    TxStage.ABORTED: "ABORTED",
+    TxStage.REJECTED: "REJECTED by admission control",
+}
+
+
+def build_timeline(tx: PlanetTransaction) -> List[TimelineEvent]:
+    """All of the transaction's events, time-ordered."""
+    events: List[TimelineEvent] = []
+    for stage, when in tx.stage_times.items():
+        label = _STAGE_LABELS.get(stage, stage.value)
+        detail = ""
+        if stage is TxStage.GUESSED and tx.predicted_at_guess is not None:
+            detail = f"p={tx.predicted_at_guess:.3f}"
+        elif stage is TxStage.ABORTED:
+            detail = tx.abort_reason.value
+        elif stage is TxStage.COMMITTED and tx.commit_latency_ms() is not None:
+            detail = f"latency {tx.commit_latency_ms():.2f} ms"
+        events.append(TimelineEvent(when, label, detail))
+    for when, likelihood in tx.likelihood_trace:
+        events.append(
+            TimelineEvent(when, "replica vote", f"likelihood {likelihood:.3f}")
+        )
+    events.sort(key=lambda event: (event.time_ms, event.label))
+    return events
+
+
+def render_timeline(tx: PlanetTransaction) -> str:
+    """Human-readable trace of one transaction."""
+    header = f"transaction {tx.txid} — final stage: {tx.stage.value}"
+    lines = [header, "-" * len(header)]
+    lines.extend(str(event) for event in build_timeline(tx))
+    return "\n".join(lines)
+
+
+def render_latency_bar(
+    tx: PlanetTransaction, width: int = 60
+) -> Optional[str]:
+    """A one-line bar showing guess vs commit position on the tx's lifetime.
+
+    ``G`` marks the guess, ``D`` the decision; the bar spans submission to
+    decision.  None for transactions that never decided.
+    """
+    start = tx.submitted_at
+    end = tx.decided_at
+    if start is None or end is None or end <= start:
+        return None
+    span = end - start
+
+    def position(t: float) -> int:
+        return min(width - 1, max(0, int((t - start) / span * (width - 1))))
+
+    bar = ["-"] * width
+    if tx.guessed_at is not None:
+        bar[position(tx.guessed_at)] = "G"
+    bar[width - 1] = "D"
+    return f"[{''.join(bar)}] {span:.1f} ms"

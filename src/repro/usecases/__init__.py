@@ -1,0 +1,27 @@
+"""Application patterns built on the PLANET programming model.
+
+The paper demonstrates the model's expressiveness through use cases; this
+package packages them as reusable helpers:
+
+* :class:`~repro.usecases.two_tier.TwoTierResponse` — provisional answer at
+  guess time, confirmation at commit, compensation on a wrong guess;
+* :class:`~repro.usecases.soft_deadline.SoftDeadline` — "answer within t or
+  switch the UI to pending mode" while the transaction keeps running;
+* :class:`~repro.usecases.alternate.AlternateOnLowLikelihood` — watch the
+  likelihood, abort a transaction headed for failure and fire an alternate
+  (e.g. ship from a different warehouse);
+* :class:`~repro.usecases.retry.RetryPolicy` — bounded retry with backoff
+  for conflict aborts.
+"""
+
+from repro.usecases.alternate import AlternateOnLowLikelihood
+from repro.usecases.retry import RetryPolicy
+from repro.usecases.soft_deadline import SoftDeadline
+from repro.usecases.two_tier import TwoTierResponse
+
+__all__ = [
+    "TwoTierResponse",
+    "SoftDeadline",
+    "AlternateOnLowLikelihood",
+    "RetryPolicy",
+]

@@ -1,0 +1,84 @@
+"""Alternate transaction on low predicted likelihood.
+
+A transaction headed for an abort is pure waste: it will spend the rest of a
+wide-area round trip discovering what the likelihood model already knows.
+This pattern watches the live likelihood and, when it sinks below a floor,
+*proactively aborts* (the application-initiated abort the engines support)
+and fires an alternate — ship from a different warehouse, offer the
+paperback instead of the hardcover, queue the request for async processing.
+
+The alternate builder receives the failed transaction and returns the new
+one (or None to give up); alternates can chain, bounded by ``max_attempts``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core.session import PlanetSession
+from repro.core.transaction import PlanetTransaction
+from repro.ops import AbortReason
+
+AlternateBuilder = Callable[[PlanetTransaction], Optional[PlanetTransaction]]
+
+
+@dataclass
+class AlternateOnLowLikelihood:
+    session: PlanetSession
+    build_alternate: AlternateBuilder
+    likelihood_floor: float = 0.2
+    max_attempts: int = 2
+    attempts: List[PlanetTransaction] = field(default_factory=list)
+    switched: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.likelihood_floor < 1.0:
+            raise ValueError("likelihood_floor must be in (0, 1)")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+    def run(self, tx: PlanetTransaction) -> PlanetTransaction:
+        self._attach(tx)
+        self.attempts.append(tx)
+        self.session.submit(tx)
+        return tx
+
+    # ------------------------------------------------------------------
+    def _attach(self, tx: PlanetTransaction) -> None:
+        previous_progress = tx.callbacks.on_progress
+
+        def watch(watched: PlanetTransaction, likelihood: float) -> None:
+            if previous_progress is not None:
+                previous_progress(watched, likelihood)
+            if likelihood < self.likelihood_floor:
+                self._switch(watched)
+
+        tx.callbacks.on_progress = watch
+
+    def _switch(self, tx: PlanetTransaction) -> None:
+        if len(self.attempts) >= self.max_attempts:
+            return
+        if not self.session.abort(tx):
+            return  # decided in the meantime; outcome stands
+        self.switched += 1
+        alternate = self.build_alternate(tx)
+        if alternate is None:
+            return
+        self._attach(alternate)
+        self.attempts.append(alternate)
+        self.session.submit(alternate)
+
+    # ------------------------------------------------------------------
+    @property
+    def final(self) -> PlanetTransaction:
+        return self.attempts[-1]
+
+    @property
+    def succeeded(self) -> bool:
+        return self.final.committed
+
+    def client_aborted(self) -> List[PlanetTransaction]:
+        return [
+            tx for tx in self.attempts if tx.abort_reason is AbortReason.CLIENT
+        ]

@@ -1,0 +1,98 @@
+"""Bounded retry with exponential backoff for conflict aborts.
+
+Optimistic engines push conflict handling to the application; this is the
+standard loop: on a CONFLICT (or, optionally, TIMEOUT) abort, rebuild the
+transaction — the values it read are stale, so a fresh build is mandatory —
+wait a jittered exponential backoff, and resubmit, up to ``max_retries``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core.session import PlanetSession
+from repro.core.transaction import PlanetTransaction
+from repro.ops import AbortReason
+
+TxBuilder = Callable[[], PlanetTransaction]
+DoneHandler = Callable[[PlanetTransaction, bool], None]
+
+RETRIABLE = frozenset({AbortReason.CONFLICT, AbortReason.BALLOT, AbortReason.LOCK_TIMEOUT})
+
+
+@dataclass
+class RetryPolicy:
+    session: PlanetSession
+    build: TxBuilder
+    max_retries: int = 3
+    base_backoff_ms: float = 20.0
+    backoff_multiplier: float = 2.0
+    retry_on_timeout: bool = False
+    on_done: Optional[DoneHandler] = None
+    attempts: List[PlanetTransaction] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.base_backoff_ms < 0 or self.backoff_multiplier < 1.0:
+            raise ValueError("backoff parameters out of range")
+        self._rng = self.session.sim.rng.stream("retry-policy")
+
+    def run(self) -> PlanetTransaction:
+        return self._attempt()
+
+    # ------------------------------------------------------------------
+    def _attempt(self) -> PlanetTransaction:
+        tx = self.build()
+        previous_commit = tx.callbacks.on_commit
+        previous_abort = tx.callbacks.on_abort
+
+        def committed(done_tx: PlanetTransaction) -> None:
+            if previous_commit is not None:
+                previous_commit(done_tx)
+            self._finish(done_tx, True)
+
+        def aborted(done_tx: PlanetTransaction) -> None:
+            if previous_abort is not None:
+                previous_abort(done_tx)
+            if self._should_retry(done_tx):
+                backoff = self._backoff_ms(len(self.attempts))
+                self.session.sim.schedule(backoff, self._attempt)
+            else:
+                self._finish(done_tx, False)
+
+        tx.callbacks.on_commit = committed
+        tx.callbacks.on_abort = aborted
+        self.attempts.append(tx)
+        self.session.submit(tx)
+        return tx
+
+    def _should_retry(self, tx: PlanetTransaction) -> bool:
+        if len(self.attempts) > self.max_retries:
+            return False
+        reason = tx.abort_reason
+        if reason in RETRIABLE:
+            return True
+        return self.retry_on_timeout and reason is AbortReason.TIMEOUT
+
+    def _backoff_ms(self, attempt_number: int) -> float:
+        base = self.base_backoff_ms * (self.backoff_multiplier ** (attempt_number - 1))
+        return base * self._rng.uniform(0.5, 1.5)
+
+    def _finish(self, tx: PlanetTransaction, committed: bool) -> None:
+        if self.on_done is not None:
+            self.on_done(tx, committed)
+
+    # ------------------------------------------------------------------
+    @property
+    def final(self) -> PlanetTransaction:
+        return self.attempts[-1]
+
+    @property
+    def succeeded(self) -> bool:
+        return self.final.committed
+
+    @property
+    def total_attempts(self) -> int:
+        return len(self.attempts)

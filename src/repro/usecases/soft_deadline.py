@@ -1,0 +1,55 @@
+"""Soft deadline: switch the UI to "pending" mode without killing the work.
+
+The paper's motivating complaint about hard timeouts is that they conflate
+two different contracts: "I need an answer by t" (a UI concern) and "this
+transaction must not run past t" (a correctness concern).  A
+:class:`SoftDeadline` implements the first without the second: if neither a
+guess nor a decision happened within ``soft_deadline_ms``, the
+``on_still_pending`` handler fires — show the spinner, promise an e-mail —
+while the transaction keeps running to its own (hard) timeout.
+
+The handler receives the transaction and the model's *predicted decision
+time*, so the pending message can be honest: "expected within ~230 ms".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.session import PlanetSession
+from repro.core.transaction import PlanetTransaction
+
+PendingHandler = Callable[[PlanetTransaction, Optional[float]], None]
+
+
+@dataclass
+class SoftDeadline:
+    session: PlanetSession
+    soft_deadline_ms: float
+    on_still_pending: Optional[PendingHandler] = None
+    events: List[Tuple[str, float]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.soft_deadline_ms <= 0:
+            raise ValueError("soft_deadline_ms must be positive")
+
+    def run(self, tx: PlanetTransaction) -> PlanetTransaction:
+        self.session.submit(tx)
+        self.session.sim.schedule(self.soft_deadline_ms, self._check, tx)
+        return tx
+
+    def _check(self, tx: PlanetTransaction) -> None:
+        answered = tx.was_guessed or tx.decision is not None
+        if answered:
+            self.events.append(("answered_in_time", self.session.sim.now))
+            return
+        eta = self.session.predict_decision_time(tx)
+        eta_remaining = None if eta is None else max(eta - self.session.sim.now, 0.0)
+        self.events.append(("still_pending", self.session.sim.now))
+        if self.on_still_pending is not None:
+            self.on_still_pending(tx, eta_remaining)
+
+    @property
+    def fired(self) -> bool:
+        return any(kind == "still_pending" for kind, _ in self.events)

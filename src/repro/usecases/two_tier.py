@@ -1,0 +1,77 @@
+"""Two-tier response: provisional at guess time, final at decision time.
+
+The canonical interactive pattern: show the user "order placed!" the moment
+the commit becomes likely enough, follow up with the durable confirmation
+(receipt e-mail), and — in the rare wrong-guess case — run a compensation
+(apology + rollback of the UI state).
+
+The helper wires the transaction callbacks and records a small timeline so
+application code (and tests) can audit exactly what the user saw and when.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.core.session import PlanetSession
+from repro.core.transaction import PlanetTransaction
+
+Handler = Callable[[PlanetTransaction], None]
+
+
+@dataclass
+class TwoTierResponse:
+    """Attach to a transaction, then submit it through ``run``."""
+
+    session: PlanetSession
+    respond_provisionally: Optional[Handler] = None
+    confirm: Optional[Handler] = None
+    compensate: Optional[Handler] = None
+    reject: Optional[Handler] = None
+    timeline: List[Tuple[str, float]] = field(default_factory=list)
+
+    def run(self, tx: PlanetTransaction, guess_threshold: float = 0.95) -> PlanetTransaction:
+        if tx.guess_threshold is None:
+            tx.with_guess_threshold(guess_threshold)
+        tx.on_guess(self._on_guess)
+        tx.on_commit(self._on_commit)
+        tx.on_wrong_guess(self._on_wrong_guess)
+        tx.on_abort(self._on_abort)
+        self.session.submit(tx)
+        return tx
+
+    # ------------------------------------------------------------------
+    def _now(self) -> float:
+        return self.session.sim.now
+
+    def _on_guess(self, tx: PlanetTransaction, likelihood: float) -> None:
+        self.timeline.append(("provisional", self._now()))
+        if self.respond_provisionally is not None:
+            self.respond_provisionally(tx)
+
+    def _on_commit(self, tx: PlanetTransaction) -> None:
+        self.timeline.append(("confirmed", self._now()))
+        if self.confirm is not None:
+            self.confirm(tx)
+
+    def _on_wrong_guess(self, tx: PlanetTransaction) -> None:
+        self.timeline.append(("compensated", self._now()))
+        if self.compensate is not None:
+            self.compensate(tx)
+
+    def _on_abort(self, tx: PlanetTransaction) -> None:
+        self.timeline.append(("rejected", self._now()))
+        if self.reject is not None:
+            self.reject(tx)
+
+    # ------------------------------------------------------------------
+    @property
+    def user_saw_provisional(self) -> bool:
+        return any(kind == "provisional" for kind, _ in self.timeline)
+
+    def user_response_latency_ms(self, tx: PlanetTransaction) -> Optional[float]:
+        """When did the user first see *anything* (provisional or final)?"""
+        if not self.timeline or tx.submitted_at is None:
+            return None
+        return self.timeline[0][1] - tx.submitted_at

@@ -1,0 +1,45 @@
+"""Benchmark workloads: key popularity, transaction mixes, client loops.
+
+The evaluation varies contention through key popularity (uniform / Zipf /
+hotspot choosers) and drives load with open-loop (Poisson arrivals) or
+closed-loop (think-time) clients, mirroring the paper's TPC-W-derived
+microbenchmark setup.
+"""
+
+from repro.workload.keys import HotspotChooser, KeyChooser, UniformChooser, ZipfChooser
+from repro.workload.microbench import MicrobenchSpec, build_microbench_tx
+from repro.workload.tpcw import (
+    DEFAULT_MIX,
+    TpcwSpec,
+    build_add_to_cart_tx,
+    build_browse_tx,
+    build_checkout_tx,
+    build_payment_tx,
+    build_tpcw_tx,
+)
+from repro.workload.ycsb import YcsbSpec, build_ycsb_tx
+from repro.workload.clients import ClosedLoopClient, OpenLoopClient
+from repro.workload.spikes import Spike, apply_spikes, periodic_spikes
+
+__all__ = [
+    "KeyChooser",
+    "UniformChooser",
+    "ZipfChooser",
+    "HotspotChooser",
+    "MicrobenchSpec",
+    "build_microbench_tx",
+    "TpcwSpec",
+    "DEFAULT_MIX",
+    "build_browse_tx",
+    "build_add_to_cart_tx",
+    "build_checkout_tx",
+    "build_payment_tx",
+    "build_tpcw_tx",
+    "YcsbSpec",
+    "build_ycsb_tx",
+    "OpenLoopClient",
+    "ClosedLoopClient",
+    "Spike",
+    "apply_spikes",
+    "periodic_spikes",
+]

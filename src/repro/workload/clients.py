@@ -1,0 +1,90 @@
+"""Simulated clients driving transactions against a session.
+
+* :class:`OpenLoopClient` — Poisson arrivals at a fixed rate, submitting
+  without waiting for outcomes (how offered-load sweeps are driven).
+* :class:`ClosedLoopClient` — submit, wait for the decision, think, repeat
+  (how interactive users behave; throughput self-limits under latency).
+
+Both take a ``tx_factory(session, rng)`` — e.g. a partial application of
+:func:`~repro.workload.microbench.build_microbench_tx` — and stop at
+``end_ms`` of simulated time.
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import Callable, List, Optional
+
+from repro.core.session import PlanetSession
+from repro.core.transaction import PlanetTransaction
+from repro.sim.process import Process
+
+TxFactory = Callable[[PlanetSession, Random], PlanetTransaction]
+
+
+class OpenLoopClient:
+    """Submits transactions at Poisson-distributed arrival times."""
+
+    def __init__(
+        self,
+        session: PlanetSession,
+        tx_factory: TxFactory,
+        rate_tps: float,
+        end_ms: float,
+        rng: Optional[Random] = None,
+        name: str = "open-client",
+    ) -> None:
+        if rate_tps <= 0:
+            raise ValueError("rate_tps must be positive")
+        self.session = session
+        self.tx_factory = tx_factory
+        self.rate_tps = rate_tps
+        self.end_ms = end_ms
+        self.rng = rng if rng is not None else session.sim.rng.stream(f"client:{name}")
+        self.submitted: List[PlanetTransaction] = []
+        self.name = name
+        self._process = Process(session.sim, self._run(), name=name)
+
+    def _run(self):
+        mean_interarrival_ms = 1000.0 / self.rate_tps
+        while True:
+            yield self.rng.expovariate(1.0 / mean_interarrival_ms)
+            if self.session.sim.now >= self.end_ms:
+                return
+            tx = self.tx_factory(self.session, self.rng)
+            self.session.submit(tx)
+            self.submitted.append(tx)
+
+
+class ClosedLoopClient:
+    """Submits, waits for the decision, thinks, repeats."""
+
+    def __init__(
+        self,
+        session: PlanetSession,
+        tx_factory: TxFactory,
+        end_ms: float,
+        think_time_ms: float = 0.0,
+        rng: Optional[Random] = None,
+        name: str = "closed-client",
+    ) -> None:
+        if think_time_ms < 0:
+            raise ValueError("think_time_ms must be >= 0")
+        self.session = session
+        self.tx_factory = tx_factory
+        self.end_ms = end_ms
+        self.think_time_ms = think_time_ms
+        self.rng = rng if rng is not None else session.sim.rng.stream(f"client:{name}")
+        self.submitted: List[PlanetTransaction] = []
+        self.name = name
+        self._process = Process(session.sim, self._run(), name=name)
+
+    def _run(self):
+        while self.session.sim.now < self.end_ms:
+            tx = self.tx_factory(self.session, self.rng)
+            self.session.submit(tx)
+            self.submitted.append(tx)
+            if tx.decision is None:
+                yield tx.waiter
+            if self.think_time_ms > 0:
+                yield self.rng.expovariate(1.0 / self.think_time_ms)

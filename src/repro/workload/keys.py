@@ -1,0 +1,104 @@
+"""Key-popularity distributions.
+
+Contention in the evaluation is controlled by how concentrated writes are:
+``UniformChooser`` spreads them evenly, ``ZipfChooser`` skews them with a
+tunable exponent, and ``HotspotChooser`` sends a fixed fraction of accesses
+to a small hot set — the paper's primary contention knob (the smaller the
+hot set, the hotter each record).
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+from random import Random
+from typing import List, Sequence
+
+
+class KeyChooser:
+    """Base: draws keys from a fixed keyspace."""
+
+    def __init__(self, n_keys: int, prefix: str = "k") -> None:
+        if n_keys < 1:
+            raise ValueError("n_keys must be >= 1")
+        self.n_keys = n_keys
+        self.prefix = prefix
+
+    def key(self, index: int) -> str:
+        return f"{self.prefix}:{index}"
+
+    def choose_index(self, rng: Random) -> int:
+        raise NotImplementedError
+
+    def choose(self, rng: Random) -> str:
+        return self.key(self.choose_index(rng))
+
+    def choose_distinct(self, rng: Random, count: int, max_attempts: int = 1000) -> List[str]:
+        """Draw ``count`` distinct keys from the popularity distribution."""
+        if count > self.n_keys:
+            raise ValueError(f"cannot draw {count} distinct keys from {self.n_keys}")
+        seen: set = set()
+        for _ in range(max_attempts):
+            seen.add(self.choose_index(rng))
+            if len(seen) == count:
+                return [self.key(i) for i in seen]
+        # Extremely skewed distribution: top up with uniform picks.
+        remaining = [i for i in range(self.n_keys) if i not in seen]
+        rng.shuffle(remaining)
+        for index in remaining[: count - len(seen)]:
+            seen.add(index)
+        return [self.key(i) for i in seen]
+
+
+class UniformChooser(KeyChooser):
+    def choose_index(self, rng: Random) -> int:
+        return rng.randrange(self.n_keys)
+
+
+class ZipfChooser(KeyChooser):
+    """Zipf popularity: P(rank i) proportional to 1 / i**theta.
+
+    ``theta=0`` degenerates to uniform; ~0.99 is the YCSB default skew.
+    """
+
+    def __init__(self, n_keys: int, theta: float = 0.99, prefix: str = "k") -> None:
+        super().__init__(n_keys, prefix)
+        if theta < 0:
+            raise ValueError("theta must be >= 0")
+        self.theta = theta
+        weights = [1.0 / ((i + 1) ** theta) for i in range(n_keys)]
+        total = sum(weights)
+        self._cdf: List[float] = list(itertools.accumulate(w / total for w in weights))
+        self._cdf[-1] = 1.0  # guard against float drift
+
+    def choose_index(self, rng: Random) -> int:
+        return bisect.bisect_left(self._cdf, rng.random())
+
+
+class HotspotChooser(KeyChooser):
+    """A hot set of ``hot_keys`` records receives ``hot_fraction`` of accesses.
+
+    Indices ``0..hot_keys-1`` are the hot records; the rest are cold.
+    """
+
+    def __init__(
+        self,
+        n_keys: int,
+        hot_keys: int,
+        hot_fraction: float = 0.9,
+        prefix: str = "k",
+    ) -> None:
+        super().__init__(n_keys, prefix)
+        if not 1 <= hot_keys <= n_keys:
+            raise ValueError("hot_keys must be in 1..n_keys")
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in [0, 1]")
+        self.hot_keys = hot_keys
+        self.hot_fraction = hot_fraction
+
+    def choose_index(self, rng: Random) -> int:
+        if rng.random() < self.hot_fraction:
+            return rng.randrange(self.hot_keys)
+        if self.hot_keys == self.n_keys:
+            return rng.randrange(self.hot_keys)
+        return self.hot_keys + rng.randrange(self.n_keys - self.hot_keys)

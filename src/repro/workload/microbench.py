@@ -1,0 +1,51 @@
+"""The microbenchmark: multi-record read-modify-write transactions.
+
+Each transaction reads ``n_reads`` records and writes ``n_writes`` records
+drawn from a key chooser; writes are exclusive (version-validated) unless
+``use_deltas`` turns them into commutative increments.  This is the
+configurable contention workload every latency/abort experiment sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import Optional
+
+from repro.core.transaction import PlanetTransaction
+from repro.workload.keys import KeyChooser
+
+
+@dataclass
+class MicrobenchSpec:
+    chooser: KeyChooser
+    n_reads: int = 2
+    n_writes: int = 2
+    use_deltas: bool = False
+    delta_floor: float = float("-inf")
+    timeout_ms: Optional[float] = None
+    guess_threshold: Optional[float] = None
+
+
+def build_microbench_tx(
+    session, spec: MicrobenchSpec, rng: Random
+) -> PlanetTransaction:
+    """Build (but do not submit) one microbenchmark transaction."""
+    tx = session.transaction()
+    n_keys = spec.n_reads + spec.n_writes
+    keys = spec.chooser.choose_distinct(rng, n_keys)
+    read_keys = keys[: spec.n_reads]
+    write_keys = keys[spec.n_reads :]
+    for key in read_keys:
+        tx.read(key)
+    for key in write_keys:
+        if spec.use_deltas:
+            delta = rng.choice((-1, 1))
+            tx.increment(key, delta, floor=spec.delta_floor)
+        else:
+            tx.write(key, rng.randrange(1_000_000))
+    if spec.timeout_ms is not None:
+        tx.with_timeout(spec.timeout_ms)
+    if spec.guess_threshold is not None:
+        tx.with_guess_threshold(spec.guess_threshold)
+    return tx

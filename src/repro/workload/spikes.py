@@ -1,0 +1,65 @@
+"""Latency-spike schedules for the "unpredictable environment" experiments.
+
+A :class:`Spike` multiplies (and optionally adds to) the latency of selected
+links for a window of simulated time.  :func:`periodic_spikes` builds the
+repeating schedule experiment F12 injects while comparing blocking commit
+latency against guess-callback response latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.net.latency import DegradationWindow, LatencyModel
+
+
+@dataclass(frozen=True)
+class Spike:
+    start_ms: float
+    duration_ms: float
+    multiplier: float = 3.0
+    extra_ms: float = 0.0
+    src_name: Optional[str] = None
+    dst_name: Optional[str] = None
+
+    def to_window(self) -> DegradationWindow:
+        return DegradationWindow(
+            start_ms=self.start_ms,
+            end_ms=self.start_ms + self.duration_ms,
+            multiplier=self.multiplier,
+            extra_ms=self.extra_ms,
+            src_name=self.src_name,
+            dst_name=self.dst_name,
+        )
+
+
+def apply_spikes(latency: LatencyModel, spikes: Sequence[Spike]) -> None:
+    for spike in spikes:
+        latency.add_window(spike.to_window())
+
+
+def periodic_spikes(
+    first_start_ms: float,
+    period_ms: float,
+    duration_ms: float,
+    count: int,
+    multiplier: float = 3.0,
+    extra_ms: float = 0.0,
+    src_name: Optional[str] = None,
+    dst_name: Optional[str] = None,
+) -> List[Spike]:
+    """``count`` spikes of ``duration_ms`` every ``period_ms``."""
+    if period_ms <= 0 or duration_ms <= 0 or count < 1:
+        raise ValueError("period_ms, duration_ms must be positive and count >= 1")
+    return [
+        Spike(
+            start_ms=first_start_ms + i * period_ms,
+            duration_ms=duration_ms,
+            multiplier=multiplier,
+            extra_ms=extra_ms,
+            src_name=src_name,
+            dst_name=dst_name,
+        )
+        for i in range(count)
+    ]

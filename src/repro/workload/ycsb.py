@@ -1,0 +1,105 @@
+"""YCSB-style core workloads mapped onto PLANET transactions.
+
+The Yahoo! Cloud Serving Benchmark's core workloads are the lingua franca
+of key-value store evaluation; offering them makes this engine directly
+comparable to published numbers elsewhere.  The mapping:
+
+| workload | mix                          | here |
+|----------|------------------------------|------|
+| A        | 50% read / 50% update        | read tx / exclusive RMW write |
+| B        | 95% read / 5% update         | same |
+| C        | 100% read                    | read tx |
+| D        | 95% read-latest / 5% insert  | reads skewed to recent inserts |
+| E        | 95% short scan / 5% insert   | scans become multi-key reads (no range index in the store) |
+| F        | 50% read / 50% read-modify-write | RMW rebuilt from the read value |
+
+Request popularity is Zipf (the YCSB default, theta 0.99) except workload D,
+which is "latest" — skewed toward the most recently inserted keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from random import Random
+from typing import Optional
+
+from repro.core.transaction import PlanetTransaction
+from repro.workload.keys import ZipfChooser
+
+
+@dataclass
+class YcsbSpec:
+    workload: str = "a"                # one of a..f
+    n_keys: int = 10_000
+    theta: float = 0.99                # zipf skew for a/b/c/f
+    scan_length: int = 5               # workload e
+    timeout_ms: Optional[float] = None
+    guess_threshold: Optional[float] = None
+    _chooser: ZipfChooser = field(init=False, repr=False)
+    _inserted: int = field(init=False, default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        workload = self.workload.lower()
+        if workload not in "abcdef" or len(workload) != 1:
+            raise ValueError(f"unknown YCSB workload {self.workload!r}")
+        self.workload = workload
+        self._chooser = ZipfChooser(self.n_keys, self.theta, prefix="user")
+
+    def initial_data(self) -> dict:
+        return {f"user:{i}": {"field0": i} for i in range(self.n_keys)}
+
+    # ------------------------------------------------------------------
+    def _read_key(self, rng: Random) -> str:
+        if self.workload == "d" and self._inserted:
+            # "latest": strongly prefer recently inserted keys.
+            rank = min(int(rng.expovariate(0.5)), self._inserted - 1)
+            return f"insert:{self._inserted - 1 - rank}"
+        return self._chooser.choose(rng)
+
+    def _finalize(self, tx: PlanetTransaction) -> PlanetTransaction:
+        if self.timeout_ms is not None:
+            tx.with_timeout(self.timeout_ms)
+        if self.guess_threshold is not None and tx.writes:
+            tx.with_guess_threshold(self.guess_threshold)
+        return tx
+
+
+def build_ycsb_tx(session, spec: YcsbSpec, rng: Random) -> PlanetTransaction:
+    """Draw one operation from the selected core workload."""
+    tx = session.transaction()
+    roll = rng.random()
+    workload = spec.workload
+
+    if workload == "c" or (workload in ("a", "f") and roll < 0.5) or (
+        workload in ("b", "d") and roll < 0.95
+    ):
+        tx.read(spec._read_key(rng))
+        return spec._finalize(tx)
+
+    if workload == "e":
+        if roll < 0.95:
+            # "Scan": the store has no range index; the closest faithful
+            # operation is a multi-key read of adjacent keys.
+            start = spec._chooser.choose_index(rng)
+            for offset in range(spec.scan_length):
+                tx.read(f"user:{(start + offset) % spec.n_keys}")
+            return spec._finalize(tx)
+        spec._inserted += 1
+        tx.write(f"insert:{spec._inserted - 1}", {"field0": spec._inserted})
+        return spec._finalize(tx)
+
+    if workload == "d":
+        spec._inserted += 1
+        tx.write(f"insert:{spec._inserted - 1}", {"field0": spec._inserted})
+        return spec._finalize(tx)
+
+    if workload == "f":
+        # Read-modify-write: read the record and write a derived value.
+        key = spec._read_key(rng)
+        tx.read(key)
+        tx.write(key, {"field0": rng.randrange(1_000_000)})
+        return spec._finalize(tx)
+
+    # Workloads a/b update branch: blind-ish update (version-validated).
+    tx.write(spec._read_key(rng), {"field0": rng.randrange(1_000_000)})
+    return spec._finalize(tx)

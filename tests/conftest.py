@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.net.topology import EC2_FIVE_DC, Topology
+from repro.sim.kernel import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator(seed=42)
+
+
+@pytest.fixture
+def topology() -> Topology:
+    return EC2_FIVE_DC
+
+
+@pytest.fixture
+def mdcc_cluster() -> Cluster:
+    """A deterministic five-DC MDCC cluster with no latency jitter."""
+    return Cluster(ClusterConfig(seed=7, engine="mdcc", jitter_sigma=0.0))
+
+
+@pytest.fixture
+def jittery_cluster() -> Cluster:
+    return Cluster(ClusterConfig(seed=7, engine="mdcc", jitter_sigma=0.2))
+
+
+@pytest.fixture
+def twopc_cluster() -> Cluster:
+    return Cluster(ClusterConfig(seed=7, engine="twopc", jitter_sigma=0.0))

@@ -1,0 +1,115 @@
+"""Tests for the DELAY admission policy."""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.core.admission import AdmissionAction, AdmissionController, AdmissionPolicy
+from repro.core.session import PlanetConfig, PlanetSession
+from repro.core.stages import TxStage
+from repro.ops import AbortReason
+
+
+class TestControllerDelayPolicy:
+    def _controller(self, **kwargs):
+        defaults = dict(
+            policy=AdmissionPolicy.DELAY,
+            threshold=0.5,
+            delay_ms=50.0,
+            max_delays=3,
+            rng=Random(1),
+        )
+        defaults.update(kwargs)
+        return AdmissionController(**defaults)
+
+    def test_admits_above_threshold(self):
+        controller = self._controller()
+        decision = controller.decide(0.9)
+        assert decision.action is AdmissionAction.ADMIT
+        assert decision.admitted
+
+    def test_delays_below_threshold(self):
+        controller = self._controller()
+        decision = controller.decide(0.1)
+        assert decision.action is AdmissionAction.DELAY
+        assert decision.delay_ms > 0
+        assert controller.delayed_count == 1
+
+    def test_backoff_grows_with_attempts(self):
+        controller = self._controller(rng=Random(2))
+        first = controller.decide(0.1, previous_delays=0).delay_ms
+        third = controller.decide(0.1, previous_delays=2).delay_ms
+        assert third > first
+
+    def test_gives_up_after_max_delays(self):
+        controller = self._controller()
+        decision = controller.decide(0.1, previous_delays=3)
+        assert decision.action is AdmissionAction.REJECT
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(delay_ms=0.0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_delays=0)
+
+
+class TestSessionDelayIntegration:
+    def _poisoned_session(self, cluster, **config_overrides):
+        config = PlanetConfig(
+            admission_policy=AdmissionPolicy.DELAY,
+            admission_threshold=0.5,
+            admission_delay_ms=100.0,
+            admission_max_delays=3,
+            **config_overrides,
+        )
+        session = PlanetSession(cluster, "us_west", config=config)
+        return session
+
+    def test_delayed_transaction_admitted_when_contention_clears(self):
+        cluster = Cluster(ClusterConfig(seed=41, jitter_sigma=0.0))
+        session = self._poisoned_session(cluster)
+        # Contention signal: several in-flight writers on the key make the
+        # prior dive; they will be unregistered shortly, cooling the record.
+        for _ in range(4):
+            session.conflicts.register_inflight("hot")
+        for _ in range(30):
+            session.conflicts.observe_outcome("hot", conflicted=True)
+            session.conflicts.observe_outcome("hot", conflicted=False)
+        tx = session.transaction().write("hot", 1)
+        session.submit(tx)
+        assert tx.stage is TxStage.CREATED  # held back, not running
+        assert session.metrics.counter("delayed_admission") >= 1
+
+        def cool_down():
+            for _ in range(4):
+                session.conflicts.unregister_inflight("hot")
+
+        cluster.sim.schedule(120.0, cool_down)
+        cluster.run()
+        assert tx.committed
+        assert tx.submitted_at is not None and tx.submitted_at >= 100.0
+
+    def test_delayed_transaction_eventually_rejected(self):
+        cluster = Cluster(ClusterConfig(seed=41, jitter_sigma=0.0))
+        session = self._poisoned_session(cluster)
+        for _ in range(60):
+            session.conflicts.observe_outcome("hot", conflicted=True)
+        tx = session.transaction().write("hot", 1)
+        session.submit(tx)
+        cluster.run()
+        assert tx.stage is TxStage.REJECTED
+        assert tx.abort_reason is AbortReason.ADMISSION
+        assert session.metrics.counter("delayed_admission") == 3
+        assert tx.waiter.woken
+
+    def test_healthy_transactions_pass_straight_through(self):
+        cluster = Cluster(ClusterConfig(seed=41, jitter_sigma=0.0))
+        session = self._poisoned_session(cluster)
+        tx = session.transaction().write("cold", 1)
+        session.submit(tx)
+        cluster.run()
+        assert tx.committed
+        assert session.metrics.counter("delayed_admission") == 0

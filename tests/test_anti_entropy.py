@@ -1,0 +1,128 @@
+"""Unit and integration tests for the anti-entropy repair subsystem."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.core.session import PlanetSession
+from repro.net.partitions import PartitionWindow
+from repro.storage.record import VersionedRecord
+
+
+class TestResetTo:
+    def test_jumps_chain_forward(self):
+        record = VersionedRecord("k", 0)
+        record.install(1, "t1", 1.0)
+        record.reset_to(7, "snapshot", "t7", 2.0)
+        assert record.committed_version == 7
+        assert record.latest.value == "snapshot"
+        assert len(record.versions) == 1
+
+    def test_never_moves_backwards(self):
+        record = VersionedRecord("k", 0)
+        for i in range(5):
+            record.install(i, f"t{i}", 1.0)
+        with pytest.raises(ValueError):
+            record.reset_to(3, "old", "t", 2.0)
+        with pytest.raises(ValueError):
+            record.reset_to(5, "same", "t", 2.0)
+
+
+def partitioned_cluster(partition_start, partition_end, victim="singapore"):
+    cluster = Cluster(
+        ClusterConfig(
+            seed=47,
+            jitter_sigma=0.0,
+            option_ttl_ms=400.0,
+            anti_entropy_interval_ms=300.0,
+        )
+    )
+    cluster.network.partitions.add_window(
+        PartitionWindow(partition_start, partition_end, dc_name=victim)
+    )
+    return cluster
+
+
+class TestAntiEntropyRepair:
+    def test_partitioned_replica_catches_up(self):
+        """Writes committed while singapore is cut off reach it afterwards."""
+        cluster = partitioned_cluster(0.0, 2_000.0)
+        session = PlanetSession(cluster, "us_west")
+        txs = [session.transaction().write(f"k{i}", i * 10) for i in range(5)]
+        for i, tx in enumerate(txs):
+            cluster.sim.schedule(i * 100.0, session.submit, tx)
+        cluster.run()
+        assert all(tx.committed for tx in txs)
+        cluster.settle(4_000.0)  # ride the daemons past the partition heal
+        singapore = cluster.storage_node("singapore").store
+        for i in range(5):
+            assert singapore.get(f"k{i}").value == i * 10
+        assert cluster.replicas["singapore"].ae_repairs >= 5
+
+    def test_missed_deltas_repaired(self):
+        """Silently missed delta decisions converge by value shipping."""
+        cluster = partitioned_cluster(0.0, 1_500.0)
+        cluster.load({"counter": 100})
+        session = PlanetSession(cluster, "us_west")
+        txs = [session.transaction().increment("counter", -3) for _ in range(4)]
+        for i, tx in enumerate(txs):
+            cluster.sim.schedule(i * 100.0, session.submit, tx)
+        cluster.run()
+        cluster.settle(3_500.0)
+        committed = sum(1 for tx in txs if tx.committed)
+        for node in cluster.storage_nodes.values():
+            assert node.store.get("counter").value == 100 - 3 * committed
+
+    def test_deep_gap_uses_snapshot_reset(self):
+        """More versions than the chain retains: the laggard resets to the
+        latest snapshot instead of replaying each version."""
+        cluster = partitioned_cluster(0.0, 8_000.0)
+        session = PlanetSession(cluster, "us_west")
+        # 20 sequential writes to one key: far past max_versions=8.  Each
+        # write waits 100 ms after the previous commit so the decision has
+        # propagated to the healthy replicas (otherwise the next proposal
+        # races the pending option and aborts).
+        def chain(i=0):
+            if i >= 20:
+                return
+            tx = session.transaction().write("hotkey", i)
+            tx.on_commit(lambda t: cluster.sim.schedule(100.0, chain, i + 1))
+            session.submit(tx)
+
+        chain()
+        cluster.run()
+        assert cluster.storage_node("us_west").store.record("hotkey").committed_version == 20
+        cluster.settle(6_000.0)
+        singapore = cluster.storage_node("singapore").store.record("hotkey")
+        assert singapore.committed_version == 20
+        assert singapore.latest.value == 19
+
+    def test_daemon_ticks_never_block_drain(self):
+        """Anti-entropy ticks are daemons: run() terminates despite them."""
+        cluster = Cluster(
+            ClusterConfig(seed=1, jitter_sigma=0.0, anti_entropy_interval_ms=200.0)
+        )
+        session = PlanetSession(cluster, "us_west")
+        session.submit(session.transaction().write("x", 1))
+        cluster.run()  # must terminate
+        assert cluster.sim.foreground_pending == 0
+
+    def test_work_after_drain_still_runs(self):
+        cluster = Cluster(
+            ClusterConfig(seed=1, jitter_sigma=0.0, anti_entropy_interval_ms=200.0)
+        )
+        session = PlanetSession(cluster, "us_west")
+        session.submit(session.transaction().write("x", 1))
+        cluster.run()
+        session.submit(session.transaction().write("y", 2))
+        cluster.run()
+        assert cluster.sim.foreground_pending == 0
+        for node in cluster.storage_nodes.values():
+            assert node.store.get("y").value == 2
+
+    def test_disabled_by_default(self):
+        cluster = Cluster(ClusterConfig(seed=1))
+        for replica in cluster.replicas.values():
+            assert replica.anti_entropy_interval_ms is None
+            assert replica.ae_repairs == 0

@@ -1,0 +1,119 @@
+"""Tests for the CLI, the synthetic topology generator, and the experiment
+driver contract (every driver produces tables, checks, and data at any
+scale)."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.common import ExperimentResult
+from repro.net.topology import make_synthetic_topology
+from repro.paxos.ballot import fast_quorum
+
+
+class TestSyntheticTopology:
+    def test_deterministic(self):
+        a = make_synthetic_topology(7, seed=3)
+        b = make_synthetic_topology(7, seed=3)
+        for i in a:
+            for j in a:
+                assert a.rtt_ms(i, j) == b.rtt_ms(i, j)
+
+    def test_valid_topology_invariants(self):
+        topology = make_synthetic_topology(9, seed=1)
+        assert len(topology) == 9
+        for i in topology:
+            for j in topology:
+                assert topology.rtt_ms(i, j) == topology.rtt_ms(j, i)
+                if i.index != j.index:
+                    assert topology.rtt_ms(i, j) > 0
+
+    def test_expansion_grows_quorum_floor(self):
+        """The point of the generator: larger deployments have farther quorums."""
+        floors = []
+        for n in (3, 5, 7, 9):
+            topology = make_synthetic_topology(n, seed=0)
+            origin = topology.datacenters[0]
+            floors.append(topology.quorum_rtt_ms(origin, fast_quorum(n)))
+        assert floors == sorted(floors)
+        assert floors[-1] > floors[0]
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            make_synthetic_topology(0)
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ALL_EXPERIMENTS:
+            assert name in out
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["run", "t1_rtt_matrix", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "T1" in out
+        assert "[PASS]" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "no_such_experiment"])
+
+    def test_run_requires_targets(self):
+        with pytest.raises(SystemExit):
+            main(["run"])
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["run", "--all"])
+        assert args.all
+        assert args.seed == 0
+        assert args.scale == 1.0
+
+
+class TestExperimentContract:
+    """Every registered driver imports and exposes the run/main contract."""
+
+    @pytest.mark.parametrize("experiment_id", ALL_EXPERIMENTS)
+    def test_driver_module_contract(self, experiment_id):
+        module = importlib.import_module(f"repro.experiments.{experiment_id}")
+        assert callable(module.run)
+        assert callable(module.main)
+
+    def test_cheapest_driver_returns_result_structure(self):
+        module = importlib.import_module("repro.experiments.t1_rtt_matrix")
+        result = module.run(seed=1, scale=0.1)
+        assert isinstance(result, ExperimentResult)
+        assert result.tables
+        assert result.checks
+        assert result.experiment_id == "T1"
+        assert result.all_checks_pass
+
+    def test_seed_changes_results(self):
+        module = importlib.import_module("repro.experiments.t1_rtt_matrix")
+        a = module.run(seed=1, scale=0.1)
+        b = module.run(seed=2, scale=0.1)
+        assert a.data["worst_relative_error"] != b.data["worst_relative_error"]
+
+
+class TestJsonExport:
+    def test_run_with_json_writes_files(self, tmp_path, capsys):
+        assert main(["run", "t1_rtt_matrix", "--scale", "0.1", "--json", str(tmp_path)]) == 0
+        import json
+
+        payload = json.loads((tmp_path / "t1_rtt_matrix.json").read_text())
+        assert payload["experiment_id"] == "T1"
+        assert payload["all_checks_pass"] is True
+        assert payload["tables"][0]["headers"]
+        assert payload["checks"][0]["name"]
+
+    def test_to_dict_is_json_encodable(self):
+        import json
+
+        module = importlib.import_module("repro.experiments.t1_rtt_matrix")
+        result = module.run(seed=0, scale=0.1)
+        json.dumps(result.to_dict())  # must not raise

@@ -1,0 +1,74 @@
+"""Tests for client failover across coordinators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.core.client import PlanetClient
+
+
+def make_cluster():
+    return Cluster(ClusterConfig(seed=19, jitter_sigma=0.0, option_ttl_ms=500.0))
+
+
+class TestFailover:
+    def test_client_fails_over_to_nearest_healthy_dc(self):
+        cluster = make_cluster()
+        client = PlanetClient(cluster, "us_west", failover=True)
+        first = client.transaction().write("a", 1)
+        client.submit(first)
+        cluster.run()
+        assert first.committed
+        assert client.dc_name == "us_west"
+
+        cluster.crash_coordinator("us_west")
+        second = client.transaction().write("b", 2)
+        client.submit(second)
+        cluster.run()
+        assert second.committed
+        # us_east is the nearest peer of us_west (75 ms RTT).
+        assert client.dc_name == "us_east"
+        assert client.failovers == 1
+
+    def test_failover_preserves_metrics(self):
+        cluster = make_cluster()
+        client = PlanetClient(cluster, "us_west", failover=True)
+        client.submit(client.transaction().write("a", 1))
+        cluster.run()
+        cluster.crash_coordinator("us_west")
+        client.submit(client.transaction().write("b", 2))
+        cluster.run()
+        assert client.metrics.counter("submitted") == 2
+        assert client.metrics.counter("committed") == 2
+
+    def test_failover_skips_multiple_dead_coordinators(self):
+        cluster = make_cluster()
+        client = PlanetClient(cluster, "us_west", failover=True)
+        cluster.crash_coordinator("us_west")
+        cluster.crash_coordinator("us_east")
+        cluster.crash_coordinator("tokyo")
+        tx = client.transaction().write("a", 1)
+        client.submit(tx)
+        cluster.run()
+        assert tx.committed
+        # Next-nearest healthy after us_east (75) and tokyo (115) is ireland (155).
+        assert client.dc_name == "ireland"
+
+    def test_all_dead_raises(self):
+        cluster = make_cluster()
+        client = PlanetClient(cluster, "us_west", failover=True)
+        for dc in cluster.datacenter_names:
+            cluster.crash_coordinator(dc)
+        with pytest.raises(RuntimeError):
+            client.submit(client.transaction().write("a", 1))
+
+    def test_failover_disabled_keeps_dead_session(self):
+        cluster = make_cluster()
+        client = PlanetClient(cluster, "us_west", failover=False)
+        cluster.crash_coordinator("us_west")
+        tx = client.transaction().write("a", 1)
+        client.submit(tx)
+        cluster.run()
+        assert tx.decision is None  # hangs against the dead coordinator
+        assert client.failovers == 0

@@ -1,0 +1,119 @@
+"""Edge-case tests for coordinator public APIs (both engines)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.ops import AbortReason, Outcome, TxEvents, TxRequest, WriteOp
+
+
+class Recorder(TxEvents):
+    def __init__(self):
+        self.decision = None
+
+    def on_decided(self, request, decision):
+        self.decision = decision
+
+
+class TestMdccCoordinatorEdges:
+    def test_abort_unknown_txid_is_noop(self, mdcc_cluster):
+        assert mdcc_cluster.coordinator("us_west").abort("nope") is False
+
+    def test_progress_unknown_txid_none(self, mdcc_cluster):
+        assert mdcc_cluster.coordinator("us_west").progress("nope") is None
+
+    def test_progress_none_during_read_phase(self, mdcc_cluster):
+        coordinator = mdcc_cluster.coordinator("us_west")
+        coordinator.execute(
+            TxRequest(txid="t1", reads=["a"], writes=[WriteOp("x", 1)]), TxEvents()
+        )
+        # Before any event runs, the tx is still reading.
+        assert coordinator.progress("t1") is None
+        mdcc_cluster.run()
+
+    def test_abort_during_read_phase(self, mdcc_cluster):
+        coordinator = mdcc_cluster.coordinator("us_west")
+        recorder = Recorder()
+        coordinator.execute(
+            TxRequest(txid="t1", reads=["a"], writes=[WriteOp("x", 1)]), recorder
+        )
+        assert coordinator.abort("t1")
+        mdcc_cluster.run()
+        assert recorder.decision.reason is AbortReason.CLIENT
+        for node in mdcc_cluster.storage_nodes.values():
+            assert node.store.get("x").value == 0
+
+    def test_empty_transaction_commits_immediately(self, mdcc_cluster):
+        recorder = Recorder()
+        mdcc_cluster.coordinator("us_west").execute(TxRequest(txid="t1"), recorder)
+        mdcc_cluster.run()
+        assert recorder.decision.outcome is Outcome.COMMITTED
+        assert recorder.decision.decided_at == 0.0
+
+    def test_crashed_coordinator_silently_drops_execution(self, mdcc_cluster):
+        coordinator = mdcc_cluster.coordinator("us_west")
+        coordinator.crash()
+        recorder = Recorder()
+        coordinator.execute(TxRequest(txid="t1", writes=[WriteOp("x", 1)]), recorder)
+        mdcc_cluster.run()
+        # Messages go out but replies are ignored; no decision ever forms.
+        assert recorder.decision is None
+
+    def test_default_deadline_from_config(self):
+        cluster = Cluster(
+            ClusterConfig(seed=1, jitter_sigma=0.0, default_deadline_ms=30.0)
+        )
+        recorder = Recorder()
+        cluster.coordinator("us_west").execute(
+            TxRequest(txid="t1", writes=[WriteOp("x", 1)]), recorder
+        )
+        cluster.run()
+        # 30 ms cannot cover a 155 ms quorum round trip.
+        assert recorder.decision.reason is AbortReason.TIMEOUT
+
+    def test_request_deadline_overrides_config(self):
+        cluster = Cluster(
+            ClusterConfig(seed=1, jitter_sigma=0.0, default_deadline_ms=30.0)
+        )
+        recorder = Recorder()
+        cluster.coordinator("us_west").execute(
+            TxRequest(txid="t1", writes=[WriteOp("x", 1)], deadline_ms=1_000.0),
+            recorder,
+        )
+        cluster.run()
+        assert recorder.decision.committed
+
+
+class TestTwoPcCoordinatorEdges:
+    def test_abort_unknown_txid_is_noop(self, twopc_cluster):
+        assert twopc_cluster.coordinator("us_west").abort("nope") is False
+
+    def test_abort_during_prepare_releases_locks(self, twopc_cluster):
+        coordinator = twopc_cluster.coordinator("us_west")
+        recorder = Recorder()
+        coordinator.execute(TxRequest(txid="t1", writes=[WriteOp("x", 1)]), recorder)
+        twopc_cluster.sim.run(until=10.0)
+        assert coordinator.abort("t1")
+        twopc_cluster.run()
+        assert recorder.decision.reason is AbortReason.CLIENT
+        # The record must be lockable again.
+        recorder2 = Recorder()
+        twopc_cluster.coordinator("us_east").execute(
+            TxRequest(txid="t2", writes=[WriteOp("x", 2)]), recorder2
+        )
+        twopc_cluster.run()
+        assert recorder2.decision.committed
+
+    def test_empty_transaction_commits_immediately(self, twopc_cluster):
+        recorder = Recorder()
+        twopc_cluster.coordinator("us_west").execute(TxRequest(txid="t1"), recorder)
+        twopc_cluster.run()
+        assert recorder.decision.outcome is Outcome.COMMITTED
+
+    def test_primary_assignment_consistent_across_coordinators(self, twopc_cluster):
+        a = twopc_cluster.coordinator("us_west")
+        b = twopc_cluster.coordinator("tokyo")
+        for i in range(20):
+            key = f"key-{i}"
+            assert a.primary_id(key) == b.primary_id(key)

@@ -1,0 +1,80 @@
+"""Unit tests for conflict statistics."""
+
+from __future__ import annotations
+
+from repro.core.conflicts import ConflictTracker
+
+
+class TestConflictRates:
+    def test_unknown_key_uses_global_prior(self):
+        tracker = ConflictTracker(prior=0.02)
+        assert tracker.conflict_probability("never-seen") == 0.02
+
+    def test_repeated_conflicts_raise_rate(self):
+        tracker = ConflictTracker(alpha=0.2, prior=0.02)
+        for _ in range(50):
+            tracker.observe_outcome("hot", conflicted=True)
+        assert tracker.conflict_probability("hot") > 0.8
+
+    def test_repeated_successes_keep_rate_low(self):
+        tracker = ConflictTracker(alpha=0.2, prior=0.02)
+        for _ in range(50):
+            tracker.observe_outcome("cold", conflicted=False)
+        assert tracker.conflict_probability("cold") < 0.05
+
+    def test_rate_adapts_when_record_cools_down(self):
+        tracker = ConflictTracker(alpha=0.2, prior=0.02)
+        for _ in range(30):
+            tracker.observe_outcome("k", conflicted=True)
+        hot_rate = tracker.conflict_probability("k")
+        for _ in range(30):
+            tracker.observe_outcome("k", conflicted=False)
+        assert tracker.conflict_probability("k") < hot_rate / 2
+
+    def test_prior_shrinkage_damps_first_observation(self):
+        tracker = ConflictTracker(prior=0.02, prior_strength=10.0)
+        tracker.observe_outcome("k", conflicted=True)
+        # One conflict must not predict near-certain doom.
+        assert tracker.conflict_probability("k") < 0.2
+
+    def test_unknown_key_inherits_global_climate(self):
+        tracker = ConflictTracker(alpha=0.2, prior=0.02)
+        for i in range(100):
+            tracker.observe_outcome(f"k{i}", conflicted=True)
+        assert tracker.conflict_probability("fresh") > 0.3
+
+
+class TestInflightTracking:
+    def test_register_unregister(self):
+        tracker = ConflictTracker()
+        tracker.register_inflight("k")
+        tracker.register_inflight("k")
+        assert tracker.inflight_writers("k") == 2
+        tracker.unregister_inflight("k")
+        assert tracker.inflight_writers("k") == 1
+        tracker.unregister_inflight("k")
+        assert tracker.inflight_writers("k") == 0
+
+    def test_unregister_below_zero_clamped(self):
+        tracker = ConflictTracker()
+        tracker.unregister_inflight("k")
+        assert tracker.inflight_writers("k") == 0
+
+    def test_prior_scales_with_inflight_writers(self):
+        tracker = ConflictTracker(alpha=0.2, prior=0.02)
+        for _ in range(50):
+            tracker.observe_outcome("k", conflicted=True)
+            tracker.observe_outcome("k", conflicted=False)
+        base = tracker.prior_conflict_probability("k")
+        tracker.register_inflight("k")
+        tracker.register_inflight("k")
+        contended = tracker.prior_conflict_probability("k")
+        assert contended > base
+
+    def test_prior_is_probability(self):
+        tracker = ConflictTracker()
+        for _ in range(100):
+            tracker.observe_outcome("k", conflicted=True)
+        for _ in range(20):
+            tracker.register_inflight("k")
+        assert 0.0 <= tracker.prior_conflict_probability("k") <= 1.0

@@ -1,0 +1,128 @@
+"""Tests for commit-time prediction (expected decision time)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.core.conflicts import ConflictTracker
+from repro.core.likelihood import CommitLikelihoodModel
+from repro.core.session import PlanetSession
+from repro.mdcc.coordinator import ProgressSnapshot, RecordProgress
+from repro.net.latency import LatencyModel
+from repro.net.topology import EC2_FIVE_DC
+
+
+def make_model(jitter=0.0, coordinator="us_west"):
+    return CommitLikelihoodModel(
+        conflicts=ConflictTracker(),
+        latency=LatencyModel(EC2_FIVE_DC, jitter_sigma=jitter),
+        coordinator_dc=EC2_FIVE_DC.datacenter(coordinator),
+    )
+
+
+def record_with(accepts, rejects=0, outstanding_names=("us_east", "ireland", "singapore", "tokyo"),
+                proposed_at=0.0):
+    outstanding = tuple(EC2_FIVE_DC.datacenter(n) for n in outstanding_names)
+    return RecordProgress(
+        key="k", accepts=accepts, rejects=rejects, quorum=4, n=5,
+        outstanding_dcs=outstanding[: 5 - accepts - rejects], proposed_at=proposed_at,
+    )
+
+
+def snap(records, deadline_at=None):
+    return ProgressSnapshot(txid="t", records=records, submitted_at=0.0, deadline_at=deadline_at)
+
+
+class TestExpectedDecisionTime:
+    def test_decided_record_contributes_now(self):
+        model = make_model()
+        eta = model.expected_decision_time(snap([record_with(accepts=4)]), now=42.0)
+        assert eta == 42.0
+
+    def test_waits_for_kth_fastest_outstanding(self):
+        """Needing 3 more accepts from {us_east, ireland, singapore, tokyo},
+        the decision waits for the 3rd fastest: tokyo (115) < us_east (75)?
+        Sorted RTTs from us_west: us_east 75, tokyo 115, ireland 155,
+        singapore 175 (+1 ms overhead each).  3rd fastest = ireland."""
+        model = make_model(jitter=0.0)
+        eta = model.expected_decision_time(
+            snap([record_with(accepts=1, proposed_at=0.0)]), now=0.0
+        )
+        assert eta == pytest.approx(156.0)  # ireland RTT 155 + 1 ms overhead
+
+    def test_elapsed_time_reduces_remaining_wait(self):
+        model = make_model(jitter=0.0)
+        fresh = model.expected_decision_time(
+            snap([record_with(accepts=3, proposed_at=0.0)]), now=0.0
+        )
+        later = model.expected_decision_time(
+            snap([record_with(accepts=3, proposed_at=0.0)]), now=50.0
+        )
+        # Absolute ETA stays the same when no jitter: 50 ms elapsed means
+        # 50 ms less remaining.
+        assert later == pytest.approx(fresh, abs=1e-6)
+
+    def test_deadline_caps_eta(self):
+        model = make_model(jitter=0.0)
+        eta = model.expected_decision_time(
+            snap([record_with(accepts=0)], deadline_at=60.0), now=0.0
+        )
+        assert eta == 60.0
+
+    def test_doomed_record_waits_for_deadline(self):
+        model = make_model(jitter=0.0)
+        record = record_with(accepts=0, rejects=3, outstanding_names=("us_east", "ireland"))
+        eta = model.expected_decision_time(snap([record], deadline_at=500.0), now=10.0)
+        assert eta == 500.0
+
+    def test_eta_never_in_the_past(self):
+        model = make_model(jitter=0.3)
+        record = record_with(accepts=3, proposed_at=0.0)
+        eta = model.expected_decision_time(snap([record]), now=10_000.0)
+        assert eta >= 10_000.0
+
+    def test_multi_record_takes_max(self):
+        model = make_model(jitter=0.0)
+        near = record_with(accepts=3)      # needs 1: us_east, 76 ms
+        far = record_with(accepts=1)       # needs 3: ireland, 156 ms
+        eta_near = model.expected_decision_time(snap([near]), now=0.0)
+        eta_both = model.expected_decision_time(snap([near, far]), now=0.0)
+        assert eta_both > eta_near
+
+
+class TestSessionEtaIntegration:
+    def test_prediction_tracks_actual_decision(self):
+        cluster = Cluster(ClusterConfig(seed=7, jitter_sigma=0.1))
+        session = PlanetSession(cluster, "us_west")
+        tx = session.transaction().write("x", 1)
+        etas = []
+        tx.on_progress(lambda t, p: etas.append(session.predict_decision_time(t)))
+        session.submit(tx)
+        cluster.run()
+        assert tx.committed
+        assert etas
+        actual = tx.decided_at
+        # Every prediction within 40% of the truth for this quiet system.
+        for eta in etas:
+            assert eta == pytest.approx(actual, rel=0.4)
+        # Predictions get tighter as votes arrive.
+        errors = [abs(eta - actual) for eta in etas]
+        assert errors[-1] <= errors[0] + 1.0
+
+    def test_none_before_and_after_flight(self):
+        cluster = Cluster(ClusterConfig(seed=7, jitter_sigma=0.0))
+        session = PlanetSession(cluster, "us_west")
+        tx = session.transaction().write("x", 1)
+        assert session.predict_decision_time(tx) is None
+        session.submit(tx)
+        cluster.run()
+        assert session.predict_decision_time(tx) is None
+
+    def test_none_on_engine_without_progress(self):
+        cluster = Cluster(ClusterConfig(seed=7, engine="twopc"))
+        session = PlanetSession(cluster, "us_west")
+        tx = session.transaction().write("x", 1)
+        session.submit(tx)
+        assert session.predict_decision_time(tx) is None
+        cluster.run()

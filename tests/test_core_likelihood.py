@@ -1,0 +1,240 @@
+"""Unit tests for the commit-likelihood model."""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import pytest
+
+from repro.core.conflicts import ConflictTracker
+from repro.core.likelihood import (
+    CommitLikelihoodModel,
+    EmpiricalLikelihoodModel,
+    LikelihoodConfig,
+    poisson_binomial_tail,
+)
+from repro.mdcc.coordinator import ProgressSnapshot, RecordProgress
+from repro.net.latency import LatencyModel
+from repro.net.topology import EC2_FIVE_DC
+
+
+class TestPoissonBinomialTail:
+    def test_trivial_cases(self):
+        assert poisson_binomial_tail([0.5, 0.5], 0) == 1.0
+        assert poisson_binomial_tail([0.5], 2) == 0.0
+        assert poisson_binomial_tail([], 0) == 1.0
+
+    def test_certain_successes(self):
+        assert poisson_binomial_tail([1.0, 1.0, 1.0], 3) == pytest.approx(1.0)
+        assert poisson_binomial_tail([0.0, 0.0], 1) == pytest.approx(0.0)
+
+    def test_matches_binomial(self):
+        # All equal p: must match the binomial tail.
+        p, n, k = 0.3, 6, 3
+        expected = sum(
+            math.comb(n, i) * p**i * (1 - p) ** (n - i) for i in range(k, n + 1)
+        )
+        assert poisson_binomial_tail([p] * n, k) == pytest.approx(expected)
+
+    def test_matches_bruteforce_for_heterogeneous_ps(self):
+        ps = [0.9, 0.2, 0.65, 0.4]
+        for at_least in range(5):
+            brute = 0.0
+            for outcome in itertools.product([0, 1], repeat=4):
+                if sum(outcome) >= at_least:
+                    prob = 1.0
+                    for bit, p in zip(outcome, ps):
+                        prob *= p if bit else (1 - p)
+                    brute += prob
+            assert poisson_binomial_tail(ps, at_least) == pytest.approx(brute)
+
+
+def make_model(config=None, conflicts=None, coordinator="us_west", jitter=0.2):
+    conflicts = conflicts if conflicts is not None else ConflictTracker()
+    return CommitLikelihoodModel(
+        conflicts=conflicts,
+        latency=LatencyModel(EC2_FIVE_DC, jitter_sigma=jitter),
+        coordinator_dc=EC2_FIVE_DC.datacenter(coordinator),
+        config=config,
+    )
+
+
+def make_record(accepts=0, rejects=0, quorum=4, n=5, proposed_at=0.0, key="k",
+                outstanding=None):
+    if outstanding is None:
+        names = ["us_east", "ireland", "singapore", "tokyo", "us_west"]
+        outstanding = tuple(
+            EC2_FIVE_DC.datacenter(name) for name in names[: n - accepts - rejects]
+        )
+    return RecordProgress(
+        key=key, accepts=accepts, rejects=rejects, quorum=quorum, n=n,
+        outstanding_dcs=outstanding, proposed_at=proposed_at,
+    )
+
+
+def snapshot(records, deadline_at=None):
+    return ProgressSnapshot(
+        txid="t", records=records, submitted_at=0.0, deadline_at=deadline_at
+    )
+
+
+class TestRecordLikelihood:
+    def test_quorum_reached_is_certain(self):
+        model = make_model()
+        record = make_record(accepts=4)
+        assert model.record_likelihood(record, now=10.0, deadline_at=None) == 1.0
+
+    def test_doomed_record_is_zero(self):
+        model = make_model()
+        record = make_record(accepts=1, rejects=2)
+        assert model.record_likelihood(record, now=10.0, deadline_at=None) == 0.0
+
+    def test_impossible_without_outstanding(self):
+        model = make_model()
+        record = make_record(accepts=3, rejects=0, outstanding=())
+        assert model.record_likelihood(record, now=10.0, deadline_at=None) == 0.0
+
+    def test_more_accepts_raise_likelihood(self):
+        conflicts = ConflictTracker(prior=0.3, prior_strength=0.0)
+        model = make_model(conflicts=conflicts)
+        p_values = [
+            model.record_likelihood(make_record(accepts=a), 10.0, None)
+            for a in range(4)
+        ]
+        assert all(b > a for a, b in zip(p_values, p_values[1:]))
+
+    def test_reject_drops_likelihood(self):
+        conflicts = ConflictTracker(prior=0.1)
+        model = make_model(conflicts=conflicts)
+        clean = model.record_likelihood(make_record(accepts=2), 10.0, None)
+        rejected = model.record_likelihood(make_record(accepts=2, rejects=1), 10.0, None)
+        assert rejected < clean
+
+    def test_hot_record_scores_lower(self):
+        conflicts = ConflictTracker(alpha=0.2)
+        for _ in range(50):
+            conflicts.observe_outcome("hot", conflicted=True)
+            conflicts.observe_outcome("cold", conflicted=False)
+        model = make_model(conflicts=conflicts)
+        hot = model.record_likelihood(make_record(accepts=1, key="hot"), 10.0, None)
+        cold = model.record_likelihood(make_record(accepts=1, key="cold"), 10.0, None)
+        assert hot < cold
+
+    def test_deadline_pressure_lowers_likelihood(self):
+        model = make_model()
+        record = make_record(accepts=1, proposed_at=0.0)
+        relaxed = model.record_likelihood(record, now=10.0, deadline_at=5_000.0)
+        tight = model.record_likelihood(record, now=10.0, deadline_at=50.0)
+        assert tight < relaxed
+
+    def test_expired_deadline_gives_zero(self):
+        model = make_model()
+        record = make_record(accepts=1)
+        assert model.record_likelihood(record, now=100.0, deadline_at=90.0) == 0.0
+
+    def test_no_deadline_ingredient_when_disabled(self):
+        model = make_model(LikelihoodConfig(use_deadline=False))
+        record = make_record(accepts=1)
+        tight = model.record_likelihood(record, now=10.0, deadline_at=50.0)
+        relaxed = model.record_likelihood(record, now=10.0, deadline_at=5_000.0)
+        assert tight == relaxed
+
+    def test_static_rate_ignores_tracker(self):
+        conflicts = ConflictTracker(alpha=0.2)
+        for _ in range(50):
+            conflicts.observe_outcome("hot", conflicted=True)
+        model = make_model(
+            LikelihoodConfig(use_per_record_rates=False, static_conflict_rate=0.05),
+            conflicts=conflicts,
+        )
+        hot = model.record_likelihood(make_record(accepts=1, key="hot"), 10.0, None)
+        cold = model.record_likelihood(make_record(accepts=1, key="cold"), 10.0, None)
+        assert hot == cold
+
+    def test_independent_variant_differs_from_correlated(self):
+        conflicts = ConflictTracker(prior=0.3, prior_strength=0.0)
+        correlated = make_model(conflicts=conflicts)
+        independent = make_model(
+            LikelihoodConfig(correlated_conflicts=False), conflicts=conflicts
+        )
+        record = make_record(accepts=1)
+        assert correlated.record_likelihood(record, 10.0, None) != pytest.approx(
+            independent.record_likelihood(record, 10.0, None)
+        )
+
+
+class TestTransactionLikelihood:
+    def test_product_over_records(self):
+        model = make_model()
+        single = model.likelihood(snapshot([make_record(accepts=1, key="a")]), 10.0)
+        double = model.likelihood(
+            snapshot([make_record(accepts=1, key="a"), make_record(accepts=1, key="b")]),
+            10.0,
+        )
+        assert double == pytest.approx(single * single, rel=1e-9)
+
+    def test_empty_snapshot_certain(self):
+        model = make_model()
+        assert model.likelihood(snapshot([]), 10.0) == 1.0
+
+    def test_likelihood_is_probability(self):
+        conflicts = ConflictTracker(prior=0.4, prior_strength=0.0)
+        model = make_model(conflicts=conflicts)
+        for accepts in range(4):
+            for rejects in range(2):
+                record = make_record(accepts=accepts, rejects=rejects)
+                p = model.record_likelihood(record, 10.0, 500.0)
+                assert 0.0 <= p <= 1.0
+
+
+class TestPriorLikelihood:
+    def test_more_keys_lower_prior(self):
+        model = make_model()
+        assert model.prior_likelihood(["a"]) > model.prior_likelihood(["a", "b", "c"])
+
+    def test_inflight_contention_lowers_prior(self):
+        conflicts = ConflictTracker(alpha=0.2)
+        for _ in range(20):
+            conflicts.observe_outcome("k", conflicted=True)
+            conflicts.observe_outcome("k", conflicted=False)
+        model = make_model(conflicts=conflicts)
+        quiet = model.prior_likelihood(["k"])
+        for _ in range(5):
+            conflicts.register_inflight("k")
+        busy = model.prior_likelihood(["k"])
+        assert busy < quiet
+
+    def test_empty_write_set_certain(self):
+        assert make_model().prior_likelihood([]) == 1.0
+
+
+class TestEmpiricalModel:
+    def test_cold_start_is_optimistic(self):
+        model = EmpiricalLikelihoodModel()
+        record = make_record(accepts=0)
+        assert model.record_likelihood(record, 10.0, None) == pytest.approx(0.9)
+
+    def test_learns_observed_frequencies(self):
+        model = EmpiricalLikelihoodModel(smoothing=1.0)
+        for _ in range(80):
+            model.observe(1, 0, chosen=True)
+        for _ in range(20):
+            model.observe(1, 0, chosen=False)
+        p = model.record_likelihood(make_record(accepts=1), 10.0, None)
+        assert 0.75 < p < 0.85
+
+    def test_terminal_states_shortcut(self):
+        model = EmpiricalLikelihoodModel()
+        assert model.record_likelihood(make_record(accepts=4), 10.0, None) == 1.0
+        assert model.record_likelihood(make_record(accepts=0, rejects=2), 10.0, None) == 0.0
+
+    def test_prior_likelihood_uses_zero_state(self):
+        model = EmpiricalLikelihoodModel(smoothing=1.0)
+        for _ in range(99):
+            model.observe(0, 0, chosen=False)
+        assert model.prior_likelihood(["a"]) < 0.05
+
+    def test_invalid_smoothing(self):
+        with pytest.raises(ValueError):
+            EmpiricalLikelihoodModel(smoothing=0.0)

@@ -1,0 +1,62 @@
+"""Tests for the A/B comparison utility."""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from repro.experiments.common import microbench_run
+from repro.harness.compare import compare_runs
+
+
+@pytest.fixture(scope="module")
+def planet_vs_twopc():
+    shared = dict(
+        n_keys=4_000,
+        rate_tps=4.0,
+        clients_per_dc=1,
+        duration_ms=8_000.0,
+        warmup_ms=800.0,
+        guess_threshold=None,
+    )
+    a = microbench_run(seed=5, engine="mdcc", **shared)
+    b = microbench_run(seed=5, engine="twopc", **shared)
+    return a, b
+
+
+class TestCompareRuns:
+    def test_real_difference_is_significant(self, planet_vs_twopc):
+        a, b = planet_vs_twopc
+        comparison = compare_runs("PLANET", a, "2PC", b, percentile=50)
+        assert comparison.significant
+        assert comparison.difference_ci.low > 0  # 2PC strictly slower
+        assert comparison.ratio > 1.5
+
+    def test_self_comparison_is_not_significant(self, planet_vs_twopc):
+        a, _ = planet_vs_twopc
+        comparison = compare_runs("X", a, "X'", a, percentile=50, rng=Random(2))
+        assert not comparison.significant
+        assert comparison.difference_ci.contains(0.0)
+
+    def test_render_mentions_both_sides(self, planet_vs_twopc):
+        a, b = planet_vs_twopc
+        text = compare_runs("PLANET", a, "2PC", b).render()
+        assert "PLANET" in text and "2PC" in text
+        assert "ratio" in text
+
+    def test_deterministic_given_rng(self, planet_vs_twopc):
+        a, b = planet_vs_twopc
+        one = compare_runs("A", a, "B", b, rng=Random(9))
+        two = compare_runs("A", a, "B", b, rng=Random(9))
+        assert one.difference_ci == two.difference_ci
+
+    def test_empty_run_rejected(self, planet_vs_twopc):
+        a, _ = planet_vs_twopc
+        empty = microbench_run(
+            seed=6, n_keys=100, rate_tps=0.1, clients_per_dc=1,
+            duration_ms=1_500.0, warmup_ms=1_400.0, guess_threshold=None,
+        )
+        if not empty.committed():
+            with pytest.raises(ValueError):
+                compare_runs("A", a, "empty", empty)

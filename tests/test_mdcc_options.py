@@ -1,0 +1,136 @@
+"""Unit tests for MDCC options and their compatibility rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mdcc.options import (
+    DeltaOption,
+    WriteOption,
+    apply_option,
+    make_option,
+    validate_option,
+)
+from repro.ops import DeltaOp, WriteOp
+from repro.storage.record import VersionedRecord
+
+
+class TestMakeOption:
+    def test_write_op_becomes_write_option(self):
+        option = make_option("tx1", WriteOp(key="k", value=9, read_version=0))
+        assert isinstance(option, WriteOption)
+        assert option.new_value == 9
+        assert option.exclusive
+
+    def test_unstamped_write_op_rejected(self):
+        with pytest.raises(ValueError):
+            make_option("tx1", WriteOp(key="k", value=9))
+
+    def test_delta_op_becomes_delta_option(self):
+        option = make_option("tx1", DeltaOp(key="k", delta=-2, floor=0.0))
+        assert isinstance(option, DeltaOption)
+        assert not option.exclusive
+
+    def test_unknown_op_type(self):
+        with pytest.raises(TypeError):
+            make_option("tx1", "not-an-op")
+
+
+class TestWriteOptionValidation:
+    def test_valid_against_current_version(self):
+        record = VersionedRecord("k", 0)
+        option = WriteOption("tx1", "k", read_version=0, new_value=1)
+        ok, _ = validate_option(option, record)
+        assert ok
+
+    def test_stale_read_rejected(self):
+        record = VersionedRecord("k", 0)
+        record.install(5, "other", 1.0)
+        option = WriteOption("tx1", "k", read_version=0, new_value=1)
+        ok, reason = validate_option(option, record)
+        assert not ok
+        assert "stale read" in reason
+
+    def test_pending_option_blocks_write(self):
+        record = VersionedRecord("k", 0)
+        record.pending["other"] = WriteOption("other", "k", 0, 2)
+        option = WriteOption("tx1", "k", read_version=0, new_value=1)
+        ok, reason = validate_option(option, record)
+        assert not ok
+        assert "pending" in reason
+
+    def test_pending_delta_blocks_exclusive_write(self):
+        record = VersionedRecord("k", 10)
+        record.pending["other"] = DeltaOption("other", "k", delta=-1, floor=0.0)
+        option = WriteOption("tx1", "k", read_version=0, new_value=1)
+        ok, _ = validate_option(option, record)
+        assert not ok
+
+    def test_retransmission_of_own_option_ok(self):
+        record = VersionedRecord("k", 0)
+        option = WriteOption("tx1", "k", read_version=0, new_value=1)
+        record.pending["tx1"] = option
+        ok, reason = validate_option(option, record)
+        assert ok
+        assert reason == "already pending"
+
+
+class TestDeltaOptionValidation:
+    def test_delta_within_floor_ok(self):
+        record = VersionedRecord("k", 10)
+        ok, _ = validate_option(DeltaOption("tx1", "k", delta=-3, floor=0.0), record)
+        assert ok
+
+    def test_delta_breaking_floor_rejected(self):
+        record = VersionedRecord("k", 2)
+        ok, reason = validate_option(DeltaOption("tx1", "k", delta=-3, floor=0.0), record)
+        assert not ok
+        assert "escrow floor" in reason
+
+    def test_pending_deltas_reserve_escrow(self):
+        record = VersionedRecord("k", 3)
+        record.pending["a"] = DeltaOption("a", "k", delta=-2, floor=0.0)
+        # 3 - 2 - 2 = -1 < 0: rejected even though 3 - 2 >= 0 alone.
+        ok, _ = validate_option(DeltaOption("tx1", "k", delta=-2, floor=0.0), record)
+        assert not ok
+
+    def test_multiple_compatible_deltas_coexist(self):
+        record = VersionedRecord("k", 10)
+        record.pending["a"] = DeltaOption("a", "k", delta=-3, floor=0.0)
+        ok, _ = validate_option(DeltaOption("tx1", "k", delta=-3, floor=0.0), record)
+        assert ok
+
+    def test_pending_exclusive_blocks_delta(self):
+        record = VersionedRecord("k", 10)
+        record.pending["a"] = WriteOption("a", "k", 0, 99)
+        ok, reason = validate_option(DeltaOption("tx1", "k", delta=-1, floor=0.0), record)
+        assert not ok
+        assert "exclusive" in reason
+
+    def test_delta_on_non_numeric_rejected(self):
+        record = VersionedRecord("k", "text")
+        ok, reason = validate_option(DeltaOption("tx1", "k", delta=1, floor=0.0), record)
+        assert not ok
+        assert "non-numeric" in reason
+
+    def test_positive_delta_always_above_floor(self):
+        record = VersionedRecord("k", 0)
+        ok, _ = validate_option(DeltaOption("tx1", "k", delta=5, floor=0.0), record)
+        assert ok
+
+
+class TestApplyOption:
+    def test_apply_write_installs_value(self):
+        record = VersionedRecord("k", 0)
+        apply_option(WriteOption("tx1", "k", 0, 42), record, now=9.0)
+        assert record.latest.value == 42
+        assert record.committed_version == 1
+
+    def test_apply_delta_adds(self):
+        record = VersionedRecord("k", 10)
+        apply_option(DeltaOption("tx1", "k", delta=-4, floor=0.0), record, now=9.0)
+        assert record.latest.value == 6
+
+    def test_apply_unknown_raises(self):
+        with pytest.raises(TypeError):
+            apply_option("junk", VersionedRecord("k"), 0.0)

@@ -1,0 +1,114 @@
+"""Unit tests for data-center topology."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.topology import EC2_FIVE_DC, Topology
+
+
+def make_topology():
+    return Topology(
+        ("a", "b", "c"),
+        ((0.0, 10.0, 20.0), (10.0, 0.0, 30.0), (20.0, 30.0, 0.0)),
+        intra_dc_rtt_ms=1.0,
+    )
+
+
+class TestValidation:
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(("a", "b"), ((0.0, 1.0),))
+
+    def test_non_square_row_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(("a", "b"), ((0.0, 1.0), (1.0,)))
+
+    def test_nonzero_diagonal_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(("a", "b"), ((1.0, 1.0), (1.0, 0.0)))
+
+    def test_asymmetric_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(("a", "b"), ((0.0, 1.0), (2.0, 0.0)))
+
+    def test_nonpositive_rtt_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(("a", "b"), ((0.0, -1.0), (-1.0, 0.0)))
+
+    def test_nonpositive_intra_rtt_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(("a", "b"), ((0.0, 1.0), (1.0, 0.0)), intra_dc_rtt_ms=0.0)
+
+
+class TestLookups:
+    def test_len_and_iter(self):
+        topology = make_topology()
+        assert len(topology) == 3
+        assert [dc.name for dc in topology] == ["a", "b", "c"]
+
+    def test_datacenter_by_name(self):
+        topology = make_topology()
+        assert topology.datacenter("b").index == 1
+
+    def test_rtt_between_dcs(self):
+        topology = make_topology()
+        a, c = topology.datacenter("a"), topology.datacenter("c")
+        assert topology.rtt_ms(a, c) == 20.0
+
+    def test_intra_dc_rtt(self):
+        topology = make_topology()
+        a = topology.datacenter("a")
+        assert topology.rtt_ms(a, a) == 1.0
+
+    def test_one_way_is_half_rtt(self):
+        topology = make_topology()
+        a, b = topology.datacenter("a"), topology.datacenter("b")
+        assert topology.one_way_ms(a, b) == 5.0
+
+
+class TestQuorumRtt:
+    def test_sorted_peers_starts_with_self(self):
+        topology = make_topology()
+        a = topology.datacenter("a")
+        peers = topology.sorted_peers(a)
+        assert peers[0][0] is a
+        assert peers[0][1] == 1.0
+
+    def test_quorum_rtt(self):
+        topology = make_topology()
+        a = topology.datacenter("a")
+        # peers from a: self (1), b (10), c (20)
+        assert topology.quorum_rtt_ms(a, 1) == 1.0
+        assert topology.quorum_rtt_ms(a, 2) == 10.0
+        assert topology.quorum_rtt_ms(a, 3) == 20.0
+
+    def test_quorum_out_of_range(self):
+        topology = make_topology()
+        a = topology.datacenter("a")
+        with pytest.raises(ValueError):
+            topology.quorum_rtt_ms(a, 0)
+        with pytest.raises(ValueError):
+            topology.quorum_rtt_ms(a, 4)
+
+
+class TestEc2Default:
+    def test_five_datacenters(self):
+        assert len(EC2_FIVE_DC) == 5
+        assert [dc.name for dc in EC2_FIVE_DC] == [
+            "us_west", "us_east", "ireland", "singapore", "tokyo",
+        ]
+
+    def test_symmetric(self):
+        for a in EC2_FIVE_DC:
+            for b in EC2_FIVE_DC:
+                assert EC2_FIVE_DC.rtt_ms(a, b) == EC2_FIVE_DC.rtt_ms(b, a)
+
+    def test_known_pair(self):
+        us_west = EC2_FIVE_DC.datacenter("us_west")
+        us_east = EC2_FIVE_DC.datacenter("us_east")
+        assert EC2_FIVE_DC.rtt_ms(us_west, us_east) == 75.0
+
+    def test_fast_quorum_floor_from_us_west(self):
+        us_west = EC2_FIVE_DC.datacenter("us_west")
+        assert EC2_FIVE_DC.quorum_rtt_ms(us_west, 4) == 155.0

@@ -1,0 +1,90 @@
+"""Property-based tests on option validation/application semantics."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mdcc.options import DeltaOption, WriteOption, apply_option, validate_option
+from repro.storage.record import VersionedRecord
+
+
+@st.composite
+def delta_sequences(draw):
+    initial = draw(st.integers(min_value=0, max_value=50))
+    deltas = draw(
+        st.lists(st.integers(min_value=-10, max_value=10), min_size=0, max_size=30)
+    )
+    return initial, deltas
+
+
+class TestEscrowProperties:
+    @given(delta_sequences())
+    @settings(max_examples=200)
+    def test_escrow_floor_never_violated_by_any_accept_order(self, case):
+        """Whatever subset of deltas a replica accepts (validated one at a
+        time against the pending set), committing all of them never takes
+        the value below the floor."""
+        initial, deltas = case
+        record = VersionedRecord("k", initial)
+        accepted = []
+        for index, delta in enumerate(deltas):
+            option = DeltaOption(f"t{index}", "k", delta=delta, floor=0.0)
+            ok, _ = validate_option(option, record)
+            if ok:
+                record.pending[option.txid] = option
+                accepted.append(option)
+        # Commit every accepted option, in any order — use reversed order to
+        # stress commutativity.
+        for option in reversed(accepted):
+            record.pending.pop(option.txid)
+            apply_option(option, record, now=1.0)
+        assert record.latest.value >= 0.0
+        assert record.latest.value == initial + sum(o.delta for o in accepted)
+
+    @given(delta_sequences())
+    @settings(max_examples=100)
+    def test_positive_deltas_always_accepted(self, case):
+        initial, deltas = case
+        record = VersionedRecord("k", initial)
+        for index, delta in enumerate(d for d in deltas if d > 0):
+            option = DeltaOption(f"t{index}", "k", delta=delta, floor=0.0)
+            ok, _ = validate_option(option, record)
+            assert ok
+            record.pending[option.txid] = option
+
+
+class TestWriteOptionProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=5), st.integers()),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=150)
+    def test_at_most_one_write_pending_and_versions_monotone(self, proposals):
+        """Validation admits at most one exclusive pending option, and
+        version numbers strictly increase as accepted writes commit."""
+        record = VersionedRecord("k", 0)
+        versions_seen = [record.committed_version]
+        for index, (read_version, value) in enumerate(proposals):
+            option = WriteOption(f"t{index}", "k", read_version=read_version, new_value=value)
+            ok, _ = validate_option(option, record)
+            if ok:
+                assert len(record.pending) == 0  # exclusivity held
+                record.pending[option.txid] = option
+                # Commit immediately (serial schedule).
+                record.pending.pop(option.txid)
+                apply_option(option, record, now=1.0)
+                versions_seen.append(record.committed_version)
+        assert versions_seen == sorted(set(versions_seen))
+
+    @given(st.integers(min_value=0, max_value=10), st.integers(min_value=0, max_value=10))
+    def test_stale_read_always_rejected(self, committed_writes, read_version):
+        record = VersionedRecord("k", 0)
+        for i in range(committed_writes):
+            apply_option(WriteOption(f"w{i}", "k", i, i), record, 1.0)
+        option = WriteOption("t", "k", read_version=read_version, new_value=99)
+        ok, _ = validate_option(option, record)
+        assert ok == (read_version == record.committed_version)

@@ -1,0 +1,94 @@
+"""Tests for the read-your-writes session guarantee."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.core.session import PlanetConfig, PlanetSession
+
+
+def commit_then_read(read_your_writes: bool):
+    """Commit a write and read it back from the same session *immediately*
+    at decision time — before the local replica has applied the decision."""
+    cluster = Cluster(ClusterConfig(seed=61, jitter_sigma=0.0))
+    session = PlanetSession(
+        cluster, "us_west", config=PlanetConfig(read_your_writes=read_your_writes)
+    )
+    write = session.transaction().write("profile", "new")
+    observed = {}
+
+    def read_back(_tx):
+        read = session.transaction().read("profile")
+        read.on_commit(lambda t: observed.update(t.read_results))
+        session.submit(read)
+
+    write.on_commit(read_back)
+    session.submit(write)
+    cluster.run()
+    assert write.committed
+    return observed.get("profile"), cluster
+
+
+class TestReadYourWrites:
+    def test_without_guarantee_immediate_read_is_stale(self):
+        value, _ = commit_then_read(read_your_writes=False)
+        # The read raced the decision application at the local replica and
+        # saw the default value — exactly the anomaly the guarantee removes.
+        assert value == 0
+
+    def test_with_guarantee_immediate_read_is_fresh(self):
+        value, cluster = commit_then_read(read_your_writes=True)
+        assert value == "new"
+        # The retry loop terminated: the simulation drained.
+        assert cluster.sim.foreground_pending == 0
+
+    def test_guarantee_applies_to_rmw_version_stamps(self):
+        """A read-modify-write after an own write must stamp the fresh
+        version, not the stale one (which would abort on conflict)."""
+        cluster = Cluster(ClusterConfig(seed=61, jitter_sigma=0.0))
+        session = PlanetSession(
+            cluster, "us_west", config=PlanetConfig(read_your_writes=True)
+        )
+        first = session.transaction().write("doc", "v1")
+        second_holder = {}
+
+        def then_update(_tx):
+            second = session.transaction().read("doc").write("doc", "v2")
+            second_holder["tx"] = second
+            session.submit(second)
+
+        first.on_commit(then_update)
+        session.submit(first)
+        cluster.run()
+        assert second_holder["tx"].committed
+        for node in cluster.storage_nodes.values():
+            assert node.store.get("doc").value == "v2"
+
+    def test_unrelated_keys_unaffected(self):
+        cluster = Cluster(ClusterConfig(seed=61, jitter_sigma=0.0))
+        session = PlanetSession(
+            cluster, "us_west", config=PlanetConfig(read_your_writes=True)
+        )
+        write = session.transaction().write("a", 1)
+        session.submit(write)
+        cluster.run()
+        read = session.transaction().read("b")
+        session.submit(read)
+        cluster.run()
+        assert read.committed
+        assert read.read_results == {"b": 0}
+
+    def test_watermarks_only_from_committed_writes(self):
+        cluster = Cluster(ClusterConfig(seed=61, jitter_sigma=0.0))
+        session = PlanetSession(
+            cluster, "us_west", config=PlanetConfig(read_your_writes=True)
+        )
+        blocker = PlanetSession(cluster, "us_east", conflicts=session.conflicts)
+        tx_a = session.transaction().write("x", 1)
+        tx_b = blocker.transaction().write("x", 2)
+        session.submit(tx_a)
+        blocker.submit(tx_b)
+        cluster.run()
+        if not tx_a.committed:
+            assert "x" not in session._write_watermarks

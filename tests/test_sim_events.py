@@ -1,0 +1,71 @@
+"""Unit tests for the event queue."""
+
+from __future__ import annotations
+
+from repro.sim.events import Event, EventQueue
+
+
+class TestEventOrdering:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        queue.push(5.0, lambda: None)
+        queue.push(1.0, lambda: None)
+        queue.push(3.0, lambda: None)
+        times = [queue.pop().time for _ in range(3)]
+        assert times == [1.0, 3.0, 5.0]
+
+    def test_ties_break_by_scheduling_order(self):
+        queue = EventQueue()
+        first = queue.push(2.0, lambda: "a")
+        second = queue.push(2.0, lambda: "b")
+        assert queue.pop() is first
+        assert queue.pop() is second
+
+    def test_event_lt_compares_time_then_seq(self):
+        early = Event(1.0, 5, lambda: None, ())
+        late = Event(2.0, 1, lambda: None, ())
+        assert early < late
+        same_time_low_seq = Event(2.0, 0, lambda: None, ())
+        assert same_time_low_seq < late
+
+
+class TestCancellation:
+    def test_cancelled_event_is_skipped(self):
+        queue = EventQueue()
+        cancelled = queue.push(1.0, lambda: None)
+        kept = queue.push(2.0, lambda: None)
+        cancelled.cancel()
+        assert queue.pop() is kept
+
+    def test_pop_returns_none_when_all_cancelled(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        event.cancel()
+        assert queue.pop() is None
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(4.0, lambda: None)
+        first.cancel()
+        assert queue.peek_time() == 4.0
+
+    def test_peek_time_empty(self):
+        assert EventQueue().peek_time() is None
+
+
+class TestQueueBasics:
+    def test_len_counts_pushed(self):
+        queue = EventQueue()
+        assert len(queue) == 0
+        queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert len(queue) == 2
+
+    def test_pop_empty_returns_none(self):
+        assert EventQueue().pop() is None
+
+    def test_repr_mentions_cancelled(self):
+        event = Event(1.0, 0, lambda: None, ())
+        event.cancel()
+        assert "cancelled" in repr(event)

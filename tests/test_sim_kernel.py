@@ -1,0 +1,119 @@
+"""Unit tests for the simulator kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.kernel import Simulator
+
+
+class TestScheduling:
+    def test_schedule_advances_clock_to_event_time(self, sim):
+        fired = []
+        sim.schedule(10.0, fired.append, "a")
+        sim.run()
+        assert fired == ["a"]
+        assert sim.now == 10.0
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute_time(self, sim):
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        sim.schedule_at(20.0, lambda: None)
+        sim.run()
+        assert sim.now == 20.0
+
+    def test_schedule_at_past_rejected(self, sim):
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_call_soon_runs_at_current_time(self, sim):
+        times = []
+        sim.schedule(7.0, lambda: sim.call_soon(lambda: times.append(sim.now)))
+        sim.run()
+        assert times == [7.0]
+
+    def test_events_fire_in_time_order_not_scheduling_order(self, sim):
+        order = []
+        sim.schedule(10.0, order.append, "late")
+        sim.schedule(1.0, order.append, "early")
+        sim.run()
+        assert order == ["early", "late"]
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self, sim):
+        fired = []
+        sim.schedule(5.0, fired.append, "in")
+        sim.schedule(15.0, fired.append, "out")
+        sim.run(until=10.0)
+        assert fired == ["in"]
+        assert sim.now == 10.0
+        sim.run()
+        assert fired == ["in", "out"]
+
+    def test_run_until_advances_clock_even_without_events(self, sim):
+        sim.run(until=123.0)
+        assert sim.now == 123.0
+
+    def test_max_events(self, sim):
+        fired = []
+        for i in range(5):
+            sim.schedule(float(i + 1), fired.append, i)
+        sim.run(max_events=2)
+        assert fired == [0, 1]
+
+    def test_stop_from_inside_event(self, sim):
+        fired = []
+
+        def stopper():
+            fired.append("stop")
+            sim.stop()
+
+        sim.schedule(1.0, stopper)
+        sim.schedule(2.0, fired.append, "never")
+        sim.run()
+        assert fired == ["stop"]
+
+    def test_step_returns_false_on_empty(self, sim):
+        assert sim.step() is False
+
+    def test_events_processed_counter(self, sim):
+        for i in range(3):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.events_processed == 3
+
+    def test_pending_events(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending_events == 2
+
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        event = sim.schedule(1.0, fired.append, "x")
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_nested_scheduling_from_handler(self, sim):
+        trace = []
+
+        def outer():
+            trace.append(("outer", sim.now))
+            sim.schedule(3.0, inner)
+
+        def inner():
+            trace.append(("inner", sim.now))
+
+        sim.schedule(2.0, outer)
+        sim.run()
+        assert trace == [("outer", 2.0), ("inner", 5.0)]
+
+    def test_repr(self, sim):
+        assert "Simulator" in repr(sim)

@@ -1,0 +1,292 @@
+"""Tests for the application use-case patterns."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.core.session import PlanetSession
+from repro.core.stages import TxStage
+from repro.net.partitions import PartitionWindow
+from repro.ops import AbortReason
+from repro.usecases import (
+    AlternateOnLowLikelihood,
+    RetryPolicy,
+    SoftDeadline,
+    TwoTierResponse,
+)
+
+
+@pytest.fixture
+def quiet_cluster():
+    return Cluster(ClusterConfig(seed=17, jitter_sigma=0.0))
+
+
+@pytest.fixture
+def session(quiet_cluster):
+    return PlanetSession(quiet_cluster, "us_west")
+
+
+class TestClientAbort:
+    def test_abort_in_flight_transaction(self, quiet_cluster, session):
+        tx = session.transaction().write("x", 1)
+        session.submit(tx)
+        quiet_cluster.sim.run(until=10.0)  # before the quorum forms
+        assert session.abort(tx)
+        quiet_cluster.run()
+        assert tx.stage is TxStage.ABORTED
+        assert tx.abort_reason is AbortReason.CLIENT
+        for node in quiet_cluster.storage_nodes.values():
+            assert node.store.get("x").value == 0
+            assert node.store.record("x").pending == {}
+
+    def test_abort_after_decision_is_noop(self, quiet_cluster, session):
+        tx = session.transaction().write("x", 1)
+        session.submit(tx)
+        quiet_cluster.run()
+        assert tx.committed
+        assert not session.abort(tx)
+        assert tx.committed
+
+    def test_abort_on_twopc_engine(self):
+        cluster = Cluster(ClusterConfig(seed=17, engine="twopc", jitter_sigma=0.0))
+        session = PlanetSession(cluster, "us_west")
+        tx = session.transaction().write("x", 1)
+        session.submit(tx)
+        cluster.sim.run(until=10.0)
+        assert session.abort(tx)
+        cluster.run()
+        assert tx.abort_reason is AbortReason.CLIENT
+        for node in cluster.storage_nodes.values():
+            assert node.store.get("x").value == 0
+
+
+class TestTwoTierResponse:
+    def test_happy_path_provisional_then_confirmed(self, quiet_cluster, session):
+        seen = []
+        pattern = TwoTierResponse(
+            session,
+            respond_provisionally=lambda tx: seen.append("provisional"),
+            confirm=lambda tx: seen.append("confirm"),
+            compensate=lambda tx: seen.append("compensate"),
+        )
+        tx = session.transaction().write("x", 1)
+        pattern.run(tx, guess_threshold=0.9)
+        quiet_cluster.run()
+        assert seen == ["provisional", "confirm"]
+        assert pattern.user_saw_provisional
+        assert [kind for kind, _ in pattern.timeline] == ["provisional", "confirmed"]
+
+    def test_user_response_latency_is_guess_latency(self, quiet_cluster, session):
+        pattern = TwoTierResponse(session)
+        tx = session.transaction().write("x", 1)
+        pattern.run(tx)
+        quiet_cluster.run()
+        assert pattern.user_response_latency_ms(tx) == pytest.approx(
+            tx.guess_latency_ms()
+        )
+
+    def test_wrong_guess_compensates(self):
+        cluster = Cluster(ClusterConfig(seed=11, jitter_sigma=0.0))
+        session_a = PlanetSession(cluster, "us_west")
+        session_b = PlanetSession(
+            cluster, "us_east", conflicts=session_a.conflicts, metrics=session_a.metrics
+        )
+        seen = []
+        pattern_a = TwoTierResponse(
+            session_a,
+            compensate=lambda tx: seen.append("compensate_a"),
+            reject=lambda tx: seen.append("reject_a"),
+        )
+        pattern_b = TwoTierResponse(
+            session_b,
+            compensate=lambda tx: seen.append("compensate_b"),
+            reject=lambda tx: seen.append("reject_b"),
+        )
+        tx_a = session_a.transaction().write("x", 1)
+        tx_b = session_b.transaction().write("x", 2)
+        pattern_a.run(tx_a, guess_threshold=0.5)
+        pattern_b.run(tx_b, guess_threshold=0.5)
+        cluster.run()
+        # At least one aborts; guessed-then-aborted must compensate, not reject.
+        for tx, tag in ((tx_a, "a"), (tx_b, "b")):
+            if not tx.committed:
+                expected = "compensate_" if tx.was_guessed else "reject_"
+                assert f"{expected}{tag}" in seen
+
+
+class TestSoftDeadline:
+    def test_does_not_fire_when_guess_is_fast(self, quiet_cluster, session):
+        pattern = SoftDeadline(session, soft_deadline_ms=50.0)
+        tx = session.transaction().write("x", 1).with_guess_threshold(0.9)
+        pattern.run(tx)
+        quiet_cluster.run()
+        assert not pattern.fired
+        assert pattern.events[0][0] == "answered_in_time"
+
+    def test_fires_with_eta_when_slow(self, quiet_cluster, session):
+        pending = []
+        pattern = SoftDeadline(
+            session,
+            soft_deadline_ms=50.0,
+            on_still_pending=lambda tx, eta: pending.append(eta),
+        )
+        # No guess threshold: nothing answers before the quorum (~156 ms).
+        tx = session.transaction().write("x", 1)
+        pattern.run(tx)
+        quiet_cluster.run()
+        assert pattern.fired
+        assert len(pending) == 1
+        eta_remaining = pending[0]
+        assert eta_remaining is not None
+        # ~156 ms total minus the 50 ms already elapsed.
+        assert 50.0 < eta_remaining < 200.0
+        assert tx.committed  # the transaction was never interfered with
+
+    def test_validation(self, session):
+        with pytest.raises(ValueError):
+            SoftDeadline(session, soft_deadline_ms=0.0)
+
+
+class TestAlternateOnLowLikelihood:
+    def _poisoned_session(self, cluster):
+        """A session whose stats make 'hot' records look doomed."""
+        session = PlanetSession(cluster, "us_west")
+        for _ in range(60):
+            session.conflicts.observe_outcome("hot", conflicted=True)
+            session.conflicts.observe_outcome("cold", conflicted=False)
+        return session
+
+    def test_switches_to_alternate_and_succeeds(self, quiet_cluster):
+        session = self._poisoned_session(quiet_cluster)
+        pattern = AlternateOnLowLikelihood(
+            session,
+            build_alternate=lambda failed: session.transaction().write("cold", 99),
+            likelihood_floor=0.5,
+            max_attempts=2,
+        )
+        tx = session.transaction().write("hot", 1)
+        pattern.run(tx)
+        quiet_cluster.run()
+        assert pattern.switched == 1
+        assert len(pattern.attempts) == 2
+        assert pattern.attempts[0].abort_reason is AbortReason.CLIENT
+        assert pattern.succeeded
+        assert quiet_cluster.storage_node("us_west").store.get("cold").value == 99
+        # The abandoned write never landed anywhere.
+        for node in quiet_cluster.storage_nodes.values():
+            assert node.store.get("hot").value == 0
+
+    def test_no_switch_when_likelihood_healthy(self, quiet_cluster):
+        session = PlanetSession(quiet_cluster, "us_west")
+        pattern = AlternateOnLowLikelihood(
+            session,
+            build_alternate=lambda failed: None,
+            likelihood_floor=0.2,
+        )
+        tx = session.transaction().write("anything", 1)
+        pattern.run(tx)
+        quiet_cluster.run()
+        assert pattern.switched == 0
+        assert pattern.succeeded
+
+    def test_max_attempts_respected(self, quiet_cluster):
+        session = self._poisoned_session(quiet_cluster)
+        pattern = AlternateOnLowLikelihood(
+            session,
+            build_alternate=lambda failed: session.transaction().write("hot", 2),
+            likelihood_floor=0.5,
+            max_attempts=2,
+        )
+        pattern.run(session.transaction().write("hot", 1))
+        quiet_cluster.run()
+        assert len(pattern.attempts) <= 2
+
+    def test_validation(self, session):
+        with pytest.raises(ValueError):
+            AlternateOnLowLikelihood(session, lambda tx: None, likelihood_floor=0.0)
+        with pytest.raises(ValueError):
+            AlternateOnLowLikelihood(session, lambda tx: None, max_attempts=0)
+
+
+class TestRetryPolicy:
+    def test_no_retry_on_success(self, quiet_cluster, session):
+        done = []
+        policy = RetryPolicy(
+            session,
+            build=lambda: session.transaction().write("x", 1),
+            on_done=lambda tx, ok: done.append(ok),
+        )
+        policy.run()
+        quiet_cluster.run()
+        assert policy.total_attempts == 1
+        assert policy.succeeded
+        assert done == [True]
+
+    def test_retries_conflict_until_success(self):
+        cluster = Cluster(ClusterConfig(seed=23, jitter_sigma=0.0))
+        session = PlanetSession(cluster, "us_west")
+        blocker = PlanetSession(cluster, "us_east", conflicts=session.conflicts)
+
+        # Occupy the record with a competitor so the first attempt conflicts.
+        blocking_tx = blocker.transaction().write("x", 999)
+        blocker.submit(blocking_tx)
+
+        policy = RetryPolicy(
+            session,
+            build=lambda: session.transaction().write("x", 1),
+            max_retries=5,
+            base_backoff_ms=300.0,  # long enough for the blocker to finish
+        )
+        cluster.sim.schedule(20.0, policy.run)
+        cluster.run()
+        assert policy.succeeded
+        assert policy.total_attempts >= 2
+        assert policy.attempts[0].abort_reason in (
+            AbortReason.CONFLICT, AbortReason.BALLOT
+        )
+
+    def test_gives_up_after_max_retries(self):
+        cluster = Cluster(ClusterConfig(seed=23, jitter_sigma=0.0))
+        # Partition 3 DCs: with a deadline every attempt times out;
+        # timeouts are not retried by default.
+        for dc in ("ireland", "singapore", "tokyo"):
+            cluster.network.partitions.add_window(
+                PartitionWindow(0.0, 1e9, dc_name=dc)
+            )
+        session = PlanetSession(cluster, "us_west")
+        done = []
+        policy = RetryPolicy(
+            session,
+            build=lambda: session.transaction().write("x", 1).with_timeout(100.0),
+            max_retries=2,
+            retry_on_timeout=True,
+            on_done=lambda tx, ok: done.append(ok),
+        )
+        policy.run()
+        cluster.run()
+        assert not policy.succeeded
+        assert policy.total_attempts == 3  # original + 2 retries
+        assert done == [False]
+
+    def test_timeout_not_retried_by_default(self):
+        cluster = Cluster(ClusterConfig(seed=23, jitter_sigma=0.0))
+        for dc in ("ireland", "singapore", "tokyo"):
+            cluster.network.partitions.add_window(
+                PartitionWindow(0.0, 1e9, dc_name=dc)
+            )
+        session = PlanetSession(cluster, "us_west")
+        policy = RetryPolicy(
+            session,
+            build=lambda: session.transaction().write("x", 1).with_timeout(100.0),
+            max_retries=5,
+        )
+        policy.run()
+        cluster.run()
+        assert policy.total_attempts == 1
+
+    def test_validation(self, session):
+        with pytest.raises(ValueError):
+            RetryPolicy(session, build=lambda: None, max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(session, build=lambda: None, backoff_multiplier=0.5)

@@ -1,0 +1,339 @@
+"""Unit tests for workload generation (keys, transaction mixes, clients)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from random import Random
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.core.session import PlanetSession
+from repro.ops import DeltaOp, WriteOp
+from repro.workload.clients import ClosedLoopClient, OpenLoopClient
+from repro.workload.keys import HotspotChooser, UniformChooser, ZipfChooser
+from repro.workload.microbench import MicrobenchSpec, build_microbench_tx
+from repro.workload.spikes import Spike, apply_spikes, periodic_spikes
+from repro.workload.tpcw import TpcwSpec, build_checkout_tx
+
+
+class TestUniformChooser:
+    def test_covers_keyspace_evenly(self):
+        chooser = UniformChooser(10)
+        rng = Random(0)
+        counts = Counter(chooser.choose(rng) for _ in range(10_000))
+        assert len(counts) == 10
+        assert all(800 < count < 1200 for count in counts.values())
+
+    def test_key_format(self):
+        assert UniformChooser(5, prefix="item").key(3) == "item:3"
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            UniformChooser(0)
+
+
+class TestZipfChooser:
+    def test_head_dominates(self):
+        chooser = ZipfChooser(1000, theta=1.0)
+        rng = Random(1)
+        counts = Counter(chooser.choose_index(rng) for _ in range(20_000))
+        top = counts[0]
+        mid = counts.get(500, 0)
+        assert top > 50 * max(mid, 1)
+
+    def test_theta_zero_is_uniform(self):
+        chooser = ZipfChooser(10, theta=0.0)
+        rng = Random(2)
+        counts = Counter(chooser.choose_index(rng) for _ in range(10_000))
+        assert all(800 < counts[i] < 1200 for i in range(10))
+
+    def test_indices_in_range(self):
+        chooser = ZipfChooser(50, theta=0.99)
+        rng = Random(3)
+        assert all(0 <= chooser.choose_index(rng) < 50 for _ in range(1000))
+
+    def test_invalid_theta(self):
+        with pytest.raises(ValueError):
+            ZipfChooser(10, theta=-1.0)
+
+
+class TestHotspotChooser:
+    def test_hot_fraction_respected(self):
+        chooser = HotspotChooser(1000, hot_keys=10, hot_fraction=0.9)
+        rng = Random(4)
+        hot = sum(1 for _ in range(10_000) if chooser.choose_index(rng) < 10)
+        assert 8_700 < hot < 9_300
+
+    def test_cold_keys_outside_hot_range(self):
+        chooser = HotspotChooser(100, hot_keys=10, hot_fraction=0.0)
+        rng = Random(5)
+        assert all(10 <= chooser.choose_index(rng) < 100 for _ in range(1000))
+
+    def test_all_hot_degenerate(self):
+        chooser = HotspotChooser(10, hot_keys=10, hot_fraction=0.5)
+        rng = Random(6)
+        assert all(0 <= chooser.choose_index(rng) < 10 for _ in range(100))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HotspotChooser(10, hot_keys=11)
+        with pytest.raises(ValueError):
+            HotspotChooser(10, hot_keys=5, hot_fraction=2.0)
+
+
+class TestChooseDistinct:
+    def test_returns_distinct_keys(self):
+        chooser = ZipfChooser(100, theta=1.2)
+        rng = Random(7)
+        for _ in range(100):
+            keys = chooser.choose_distinct(rng, 5)
+            assert len(keys) == len(set(keys)) == 5
+
+    def test_extreme_skew_tops_up(self):
+        chooser = HotspotChooser(5, hot_keys=1, hot_fraction=1.0)
+        rng = Random(8)
+        keys = chooser.choose_distinct(rng, 3, max_attempts=10)
+        assert len(set(keys)) == 3
+
+    def test_too_many_requested(self):
+        with pytest.raises(ValueError):
+            UniformChooser(3).choose_distinct(Random(0), 4)
+
+
+class TestMicrobench:
+    def test_builds_requested_shape(self, mdcc_cluster):
+        session = PlanetSession(mdcc_cluster, "us_west")
+        spec = MicrobenchSpec(
+            chooser=UniformChooser(100), n_reads=3, n_writes=2,
+            timeout_ms=500.0, guess_threshold=0.9,
+        )
+        tx = build_microbench_tx(session, spec, Random(0))
+        assert len(tx.reads) == 3
+        assert len(tx.writes) == 2
+        assert all(isinstance(op, WriteOp) for op in tx.writes)
+        assert tx.timeout_ms == 500.0
+        assert tx.guess_threshold == 0.9
+
+    def test_delta_mode(self, mdcc_cluster):
+        session = PlanetSession(mdcc_cluster, "us_west")
+        spec = MicrobenchSpec(chooser=UniformChooser(100), use_deltas=True)
+        tx = build_microbench_tx(session, spec, Random(0))
+        assert all(isinstance(op, DeltaOp) for op in tx.writes)
+
+    def test_keys_distinct_within_transaction(self, mdcc_cluster):
+        session = PlanetSession(mdcc_cluster, "us_west")
+        spec = MicrobenchSpec(chooser=UniformChooser(10), n_reads=4, n_writes=4)
+        for _ in range(20):
+            tx = build_microbench_tx(session, spec, Random(0))
+            keys = tx.reads + [op.key for op in tx.writes]
+            assert len(keys) == len(set(keys))
+
+
+class TestTpcw:
+    def test_initial_data_shape(self):
+        spec = TpcwSpec(n_customers=10, n_items=5)
+        data = spec.initial_data()
+        assert data["stock:0"] == spec.initial_stock
+        assert data["customer:9"] == {"orders": 0}
+        assert len(data) == 15
+
+    def test_checkout_structure(self, mdcc_cluster):
+        session = PlanetSession(mdcc_cluster, "us_west")
+        spec = TpcwSpec(n_customers=10, n_items=5, max_cart_items=2)
+        tx = build_checkout_tx(session, spec, Random(0))
+        assert any(key.startswith("customer:") for key in tx.reads)
+        deltas = [op for op in tx.writes if isinstance(op, DeltaOp)]
+        orders = [op for op in tx.writes if isinstance(op, WriteOp)]
+        assert 1 <= len(deltas) <= 2
+        assert all(op.delta == -1 and op.floor == 0.0 for op in deltas)
+        assert len(orders) == 1
+        assert orders[0].key.startswith("order:")
+
+    def test_exclusive_stock_variant(self, mdcc_cluster):
+        session = PlanetSession(mdcc_cluster, "us_west")
+        spec = TpcwSpec(n_customers=10, n_items=5, exclusive_stock=True)
+        tx = build_checkout_tx(session, spec, Random(0))
+        stock_writes = [op for op in tx.writes if op.key.startswith("stock:")]
+        assert stock_writes
+        assert all(isinstance(op, WriteOp) for op in stock_writes)
+
+    def test_checkout_commits_end_to_end(self, mdcc_cluster):
+        spec = TpcwSpec(n_customers=10, n_items=5)
+        mdcc_cluster.load(spec.initial_data())
+        session = PlanetSession(mdcc_cluster, "us_west")
+        tx = build_checkout_tx(session, spec, Random(0))
+        session.submit(tx)
+        mdcc_cluster.run()
+        assert tx.committed
+
+
+class TestClients:
+    def _session(self, cluster):
+        return PlanetSession(cluster, "us_west")
+
+    def _factory(self):
+        spec = MicrobenchSpec(chooser=UniformChooser(1000), n_reads=1, n_writes=1)
+        return lambda session, rng: build_microbench_tx(session, spec, rng)
+
+    def test_open_loop_rate(self, mdcc_cluster):
+        session = self._session(mdcc_cluster)
+        client = OpenLoopClient(
+            session, self._factory(), rate_tps=50.0, end_ms=10_000.0, rng=Random(1)
+        )
+        mdcc_cluster.run()
+        # ~500 expected; Poisson noise allows a generous band.
+        assert 400 <= len(client.submitted) <= 600
+        assert all(tx.decision is not None for tx in client.submitted)
+
+    def test_open_loop_stops_at_end(self, mdcc_cluster):
+        session = self._session(mdcc_cluster)
+        client = OpenLoopClient(
+            session, self._factory(), rate_tps=10.0, end_ms=1_000.0, rng=Random(1)
+        )
+        mdcc_cluster.run()
+        assert all(tx.submitted_at < 1_000.0 for tx in client.submitted)
+
+    def test_open_loop_invalid_rate(self, mdcc_cluster):
+        with pytest.raises(ValueError):
+            OpenLoopClient(self._session(mdcc_cluster), self._factory(), 0.0, 100.0)
+
+    def test_closed_loop_serializes(self, mdcc_cluster):
+        session = self._session(mdcc_cluster)
+        client = ClosedLoopClient(
+            session, self._factory(), end_ms=2_000.0, think_time_ms=0.0, rng=Random(1)
+        )
+        mdcc_cluster.run()
+        # Commit takes ~160 ms from us_west, so ~12 sequential transactions.
+        assert 8 <= len(client.submitted) <= 16
+        decisions = [tx.decided_at for tx in client.submitted]
+        submissions = [tx.submitted_at for tx in client.submitted]
+        # Each submission happens after the previous decision.
+        for earlier_decision, later_submit in zip(decisions, submissions[1:]):
+            assert later_submit >= earlier_decision
+
+    def test_closed_loop_think_time_slows_rate(self, mdcc_cluster):
+        session = self._session(mdcc_cluster)
+        fast = ClosedLoopClient(
+            session, self._factory(), end_ms=5_000.0, think_time_ms=0.0,
+            rng=Random(1), name="fast",
+        )
+        cluster2 = Cluster(ClusterConfig(seed=7, jitter_sigma=0.0))
+        slow = ClosedLoopClient(
+            PlanetSession(cluster2, "us_west"), self._factory(),
+            end_ms=5_000.0, think_time_ms=500.0, rng=Random(1), name="slow",
+        )
+        mdcc_cluster.run()
+        cluster2.run()
+        assert len(slow.submitted) < len(fast.submitted)
+
+    def test_closed_loop_invalid_think_time(self, mdcc_cluster):
+        with pytest.raises(ValueError):
+            ClosedLoopClient(
+                self._session(mdcc_cluster), self._factory(), 100.0, think_time_ms=-1.0
+            )
+
+
+class TestSpikes:
+    def test_spike_to_window(self):
+        spike = Spike(start_ms=10.0, duration_ms=5.0, multiplier=2.0, extra_ms=1.0)
+        window = spike.to_window()
+        assert window.start_ms == 10.0
+        assert window.end_ms == 15.0
+        assert window.multiplier == 2.0
+
+    def test_periodic_spikes(self):
+        spikes = periodic_spikes(100.0, period_ms=50.0, duration_ms=10.0, count=3)
+        assert [s.start_ms for s in spikes] == [100.0, 150.0, 200.0]
+        assert all(s.duration_ms == 10.0 for s in spikes)
+
+    def test_apply_spikes(self, mdcc_cluster):
+        spikes = periodic_spikes(0.0, 100.0, 10.0, 2, multiplier=3.0)
+        apply_spikes(mdcc_cluster.latency, spikes)
+        src = mdcc_cluster.topology.datacenter("us_west")
+        dst = mdcc_cluster.topology.datacenter("us_east")
+        assert len(mdcc_cluster.latency.active_windows(5.0, src, dst)) == 1
+        assert len(mdcc_cluster.latency.active_windows(50.0, src, dst)) == 0
+
+    def test_periodic_validation(self):
+        with pytest.raises(ValueError):
+            periodic_spikes(0.0, 0.0, 1.0, 1)
+        with pytest.raises(ValueError):
+            periodic_spikes(0.0, 1.0, 1.0, 0)
+
+
+class TestTpcwMix:
+    def _session(self, cluster):
+        from repro.core.session import PlanetSession
+
+        return PlanetSession(cluster, "us_west")
+
+    def test_browse_is_read_only(self, mdcc_cluster):
+        from repro.workload.tpcw import build_browse_tx
+
+        session = self._session(mdcc_cluster)
+        spec = TpcwSpec(n_customers=10, n_items=20)
+        tx = build_browse_tx(session, spec, Random(0))
+        assert tx.reads
+        assert not tx.writes
+
+    def test_add_to_cart_single_write(self, mdcc_cluster):
+        from repro.workload.tpcw import build_add_to_cart_tx
+
+        session = self._session(mdcc_cluster)
+        spec = TpcwSpec(n_customers=10, n_items=20)
+        tx = build_add_to_cart_tx(session, spec, Random(0))
+        assert len(tx.writes) == 1
+        assert tx.writes[0].key.startswith("cart:")
+
+    def test_payment_charges_balance(self, mdcc_cluster):
+        from repro.workload.tpcw import build_payment_tx
+
+        session = self._session(mdcc_cluster)
+        spec = TpcwSpec(n_customers=10, n_items=20)
+        tx = build_payment_tx(session, spec, Random(0))
+        deltas = [op for op in tx.writes if isinstance(op, DeltaOp)]
+        assert len(deltas) == 1
+        assert deltas[0].key.startswith("balance:")
+        assert deltas[0].delta < 0
+
+    def test_mix_respects_weights(self, mdcc_cluster):
+        from collections import Counter
+
+        from repro.workload.tpcw import build_tpcw_tx
+
+        session = self._session(mdcc_cluster)
+        spec = TpcwSpec(n_customers=50, n_items=50)
+        rng = Random(1)
+        kinds = Counter()
+        for _ in range(2000):
+            tx = build_tpcw_tx(session, spec, rng)
+            if not tx.writes:
+                kinds["browse"] += 1
+            elif tx.writes[0].key.startswith("cart:"):
+                kinds["add_to_cart"] += 1
+            elif any(op.key.startswith("balance:") for op in tx.writes):
+                kinds["payment"] += 1
+            else:
+                kinds["checkout"] += 1
+        total = sum(kinds.values())
+        assert 0.44 < kinds["browse"] / total < 0.56
+        assert 0.19 < kinds["add_to_cart"] / total < 0.31
+        assert 0.10 < kinds["checkout"] / total < 0.20
+        assert 0.05 < kinds["payment"] / total < 0.15
+
+    def test_full_mix_runs_end_to_end(self, mdcc_cluster):
+        from repro.workload.tpcw import build_tpcw_tx
+
+        spec = TpcwSpec(n_customers=20, n_items=20, guess_threshold=0.9)
+        mdcc_cluster.load(spec.initial_data())
+        session = self._session(mdcc_cluster)
+        rng = Random(2)
+        txs = []
+        for i in range(30):
+            tx = build_tpcw_tx(session, spec, rng)
+            mdcc_cluster.sim.schedule(i * 50.0, session.submit, tx)
+            txs.append(tx)
+        mdcc_cluster.run()
+        assert all(tx.decision is not None for tx in txs)
+        assert sum(1 for tx in txs if tx.committed) >= 25

@@ -1,0 +1,123 @@
+"""Tests for the YCSB-style core workloads."""
+
+from __future__ import annotations
+
+from collections import Counter
+from random import Random
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.core.session import PlanetSession
+from repro.workload.ycsb import YcsbSpec, build_ycsb_tx
+
+
+@pytest.fixture
+def session():
+    cluster = Cluster(ClusterConfig(seed=71, jitter_sigma=0.0))
+    return PlanetSession(cluster, "us_west")
+
+
+def classify(tx):
+    if not tx.writes:
+        return "scan" if len(tx.reads) > 1 else "read"
+    if tx.reads:
+        return "rmw"
+    if tx.writes[0].key.startswith("insert:"):
+        return "insert"
+    return "update"
+
+
+def mix_for(workload, session, n=2000, seed=1):
+    spec = YcsbSpec(workload=workload, n_keys=1000)
+    rng = Random(seed)
+    return spec, Counter(classify(build_ycsb_tx(session, spec, rng)) for _ in range(n))
+
+
+class TestWorkloadMixes:
+    def test_workload_a_half_updates(self, session):
+        _, mix = mix_for("a", session)
+        total = sum(mix.values())
+        assert 0.45 < mix["read"] / total < 0.55
+        assert 0.45 < mix["update"] / total < 0.55
+
+    def test_workload_b_mostly_reads(self, session):
+        _, mix = mix_for("b", session)
+        total = sum(mix.values())
+        assert 0.92 < mix["read"] / total < 0.98
+        assert 0.02 < mix["update"] / total < 0.08
+
+    def test_workload_c_read_only(self, session):
+        _, mix = mix_for("c", session)
+        assert set(mix) == {"read"}
+
+    def test_workload_d_inserts_and_reads(self, session):
+        spec, mix = mix_for("d", session)
+        total = sum(mix.values())
+        assert 0.92 < mix["read"] / total < 0.98
+        assert mix["insert"] > 0
+        assert spec._inserted == mix["insert"]
+
+    def test_workload_e_scans(self, session):
+        _, mix = mix_for("e", session)
+        total = sum(mix.values())
+        assert 0.92 < mix["scan"] / total < 0.98
+        assert mix["insert"] > 0
+
+    def test_workload_f_rmw(self, session):
+        _, mix = mix_for("f", session)
+        total = sum(mix.values())
+        assert 0.45 < mix["rmw"] / total < 0.55
+        assert 0.45 < mix["read"] / total < 0.55
+
+    def test_scan_length(self, session):
+        spec = YcsbSpec(workload="e", n_keys=100, scan_length=7)
+        rng = Random(3)
+        for _ in range(50):
+            tx = build_ycsb_tx(session, spec, rng)
+            if classify(tx) == "scan":
+                assert len(tx.reads) == 7
+                break
+        else:
+            pytest.fail("no scan drawn in 50 tries")
+
+    def test_latest_skew_prefers_recent_inserts(self, session):
+        spec = YcsbSpec(workload="d", n_keys=100)
+        rng = Random(4)
+        spec._inserted = 50
+        recent = 0
+        draws = 500
+        for _ in range(draws):
+            key = spec._read_key(rng)
+            assert key.startswith("insert:")
+            if int(key.split(":")[1]) >= 40:
+                recent += 1
+        assert recent / draws > 0.9  # the newest ten dominate
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError):
+            YcsbSpec(workload="z")
+
+    def test_initial_data(self):
+        data = YcsbSpec(workload="a", n_keys=3).initial_data()
+        assert set(data) == {"user:0", "user:1", "user:2"}
+
+
+class TestYcsbEndToEnd:
+    def test_workload_a_runs_on_the_engine(self):
+        cluster = Cluster(ClusterConfig(seed=72))
+        spec = YcsbSpec(workload="a", n_keys=500, timeout_ms=2_000.0, guess_threshold=0.95)
+        cluster.load(spec.initial_data())
+        session = PlanetSession(cluster, "us_west")
+        rng = Random(5)
+        txs = []
+        for i in range(60):
+            tx = build_ycsb_tx(session, spec, rng)
+            cluster.sim.schedule(i * 25.0, session.submit, tx)
+            txs.append(tx)
+        cluster.run()
+        assert all(tx.decision is not None for tx in txs)
+        commit_rate = sum(1 for tx in txs if tx.committed) / len(txs)
+        # Zipf 0.99 concentrates updates on the head key, which genuinely
+        # conflicts at this arrival rate — most, not all, commit.
+        assert commit_rate > 0.75
