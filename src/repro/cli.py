@@ -1,14 +1,22 @@
-"""Command-line interface: list and run the reproduction experiments.
+"""Command-line interface: list, run, trace, and profile the experiments.
 
 Usage::
 
     python -m repro list
     python -m repro run f6_commit_latency [--seed 3] [--scale 0.5]
+    python -m repro run f6 --profile          # where did the milliseconds go
     python -m repro run --all [--scale 0.3]
+    python -m repro trace f6 --out f6.json    # Chrome trace_event capture
 
+Experiment ids accept unambiguous prefixes (``f6`` → ``f6_commit_latency``).
 Every experiment prints the rows/series of the corresponding paper
 figure/table plus its shape checks; the exit code is non-zero when any
 shape check fails, so the CLI composes with scripts and CI.
+
+``trace`` re-runs one experiment with the :mod:`repro.obs` flight recorder
+installed and writes a Chrome ``trace_event`` file that opens directly in
+``chrome://tracing`` or https://ui.perfetto.dev.  ``run --profile`` instead
+aggregates spans into a per-category simulated-time breakdown per simulator.
 """
 
 from __future__ import annotations
@@ -18,6 +26,7 @@ import importlib
 import sys
 from typing import List
 
+from repro import obs
 from repro.experiments import ALL_EXPERIMENTS
 
 _TITLES = {
@@ -43,12 +52,26 @@ _TITLES = {
 }
 
 
-def _load(experiment_id: str):
-    if experiment_id not in ALL_EXPERIMENTS:
+def resolve_experiment_id(experiment_id: str) -> str:
+    """Exact id, or a unique prefix of one (``f6`` → ``f6_commit_latency``)."""
+    if experiment_id in ALL_EXPERIMENTS:
+        return experiment_id
+    matches = [name for name in ALL_EXPERIMENTS if name.startswith(experiment_id)]
+    if len(matches) == 1:
+        return matches[0]
+    if matches:
         raise SystemExit(
-            f"unknown experiment {experiment_id!r}; try: python -m repro list"
+            f"ambiguous experiment {experiment_id!r}: matches {', '.join(matches)}"
         )
-    return importlib.import_module(f"repro.experiments.{experiment_id}")
+    raise SystemExit(
+        f"unknown experiment {experiment_id!r}; try: python -m repro list"
+    )
+
+
+def _load(experiment_id: str):
+    return importlib.import_module(
+        f"repro.experiments.{resolve_experiment_id(experiment_id)}"
+    )
 
 
 def cmd_list(_args: argparse.Namespace) -> int:
@@ -70,9 +93,20 @@ def cmd_run(args: argparse.Namespace) -> int:
         json_dir.mkdir(parents=True, exist_ok=True)
     failures = 0
     for experiment_id in targets:
+        experiment_id = resolve_experiment_id(experiment_id)
         module = _load(experiment_id)
-        result = module.run(seed=args.seed, scale=args.scale)
+        if args.profile:
+            profiler = obs.SpanAggregator()
+            with obs.capture(profiler):
+                result = module.run(seed=args.seed, scale=args.scale)
+        else:
+            profiler = None
+            result = module.run(seed=args.seed, scale=args.scale)
         result.print()
+        if profiler is not None:
+            for pid in profiler.pids():
+                print(obs.render_profile(profiler.profile(pid)))
+                print()
         if json_dir is not None:
             import json as json_module
 
@@ -85,6 +119,39 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"{failures} experiment(s) had failing shape checks", file=sys.stderr)
         return 1
     return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    experiment_id = resolve_experiment_id(args.experiment)
+    module = _load(experiment_id)
+    if args.categories:
+        categories = frozenset(args.categories.split(","))
+        unknown = categories - frozenset(obs.CATEGORIES)
+        if unknown:
+            raise SystemExit(
+                f"unknown categories: {', '.join(sorted(unknown))}; "
+                f"known: {', '.join(obs.CATEGORIES)}"
+            )
+    else:
+        categories = obs.DEFAULT_CATEGORIES
+    recorder = obs.FlightRecorder(capacity=args.capacity)
+    with obs.capture(recorder, categories=categories):
+        result = module.run(seed=args.seed, scale=args.scale)
+    document = obs.write_chrome_trace(args.out, recorder)
+    if args.jsonl is not None:
+        lines = obs.write_jsonl(args.jsonl, recorder.records())
+        print(f"wrote {lines} records to {args.jsonl}")
+    evicted = f" ({recorder.evicted} evicted)" if recorder.evicted else ""
+    print(
+        f"traced {experiment_id}: {recorder.seen_events} events, "
+        f"{recorder.seen_spans} spans{evicted}; categories: "
+        f"{', '.join(recorder.categories())}"
+    )
+    print(
+        f"wrote {len(document['traceEvents'])} trace events to {args.out} — "
+        "open in chrome://tracing or https://ui.perfetto.dev"
+    )
+    return 0 if result.all_checks_pass else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -113,7 +180,49 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write each result as JSON into DIR",
     )
+    run_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a per-category simulated-time breakdown per simulator",
+    )
     run_parser.set_defaults(func=cmd_run)
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="run one experiment with the flight recorder on and export a "
+        "Chrome trace_event file (chrome://tracing, Perfetto)",
+    )
+    trace_parser.add_argument("experiment", help="experiment id (prefix ok)")
+    trace_parser.add_argument(
+        "--out", default="trace.json", help="output path (default: trace.json)"
+    )
+    trace_parser.add_argument("--seed", type=int, default=0)
+    trace_parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="duration/sample scale factor (1.0 = full reproduction)",
+    )
+    trace_parser.add_argument(
+        "--capacity",
+        type=int,
+        default=1_000_000,
+        help="flight-recorder ring size; oldest records evict beyond this",
+    )
+    trace_parser.add_argument(
+        "--categories",
+        default=None,
+        metavar="CAT[,CAT…]",
+        help=f"comma-separated categories to capture (default: all except "
+        f"'sim'; known: {','.join(obs.CATEGORIES)})",
+    )
+    trace_parser.add_argument(
+        "--jsonl",
+        metavar="PATH",
+        default=None,
+        help="also write the raw record stream as JSON lines",
+    )
+    trace_parser.set_defaults(func=cmd_trace)
     return parser
 
 

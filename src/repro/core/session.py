@@ -122,6 +122,13 @@ class PlanetSession:
     def _attempt_admission(self, tx: PlanetTransaction, previous_delays: int) -> None:
         prior = self._prior_likelihood(tx)
         decision = self.admission.decide(prior, previous_delays=previous_delays)
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.emit(
+                self.sim.now, "admission", decision.action.value,
+                txid=tx.txid, prior=prior, policy=decision.policy.value,
+                attempt=previous_delays,
+            )
         if decision.action is AdmissionAction.REJECT:
             self._reject(tx)
             return
@@ -133,10 +140,11 @@ class PlanetSession:
                 decision.delay_ms, self._attempt_admission, tx, previous_delays + 1
             )
             return
+        manager = SpeculationManager(tx, self)
         tx.transition(TxStage.READING, self.sim.now)
+        manager.note_stage(TxStage.READING, self.sim.now)
         for op in tx.writes:
             self.conflicts.register_inflight(op.key)
-        manager = SpeculationManager(tx, self)
         request = tx.to_request()
         if self.config.read_your_writes and self._write_watermarks:
             touched = set(request.reads) | set(request.write_keys)

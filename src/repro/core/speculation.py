@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.stages import TxStage
+from repro.core.stages import SPANNED_STAGES, TxStage
 from repro.core.transaction import PlanetTransaction
 from repro.ops import Decision, TxEvents, TxRequest
 
@@ -28,6 +28,21 @@ class SpeculationManager(TxEvents):
         self.vote_counts: Dict[str, List[int]] = {}
         # Vote-state history per key, consumed by the empirical model.
         self.state_history: Dict[str, List[Tuple[int, int]]] = {}
+        self._stage_span = None  # open obs span for the current stage
+
+    # ------------------------------------------------------------------
+    # Observability: one span per non-terminal stage, on the tx's track
+    # ------------------------------------------------------------------
+    def note_stage(self, stage: TxStage, now: float) -> None:
+        tracer = self.session.sim.tracer
+        if not tracer.enabled:
+            return
+        tracer.end(self._stage_span, now)
+        self._stage_span = (
+            tracer.begin(now, "stage", stage.value, track=self.tx.txid)
+            if stage in SPANNED_STAGES
+            else None
+        )
 
     # ------------------------------------------------------------------
     # TxEvents
@@ -37,6 +52,7 @@ class SpeculationManager(TxEvents):
 
     def on_commit_started(self, request: TxRequest, now: float) -> None:
         self.tx.transition(TxStage.PENDING, now)
+        self.note_stage(TxStage.PENDING, now)
 
     def on_vote(self, request: TxRequest, key: str, accepted: bool, now: float) -> None:
         counts = self.vote_counts.setdefault(key, [0, 0])
@@ -59,7 +75,13 @@ class SpeculationManager(TxEvents):
             and likelihood >= threshold
         ):
             self.tx.transition(TxStage.GUESSED, now)
+            self.note_stage(TxStage.GUESSED, now)
             self.tx.predicted_at_guess = likelihood
+            tracer = self.session.sim.tracer
+            if tracer.enabled:
+                tracer.emit(
+                    now, "stage", "guess", txid=self.tx.txid, likelihood=likelihood
+                )
             self.tx.callbacks.fire_guess(self.tx, likelihood)
 
     def on_decided(self, request: TxRequest, decision: Decision) -> None:
@@ -71,6 +93,7 @@ class SpeculationManager(TxEvents):
             tx.transition(TxStage.COMMITTED, now)
         else:
             tx.transition(TxStage.ABORTED, now)
+        self.note_stage(tx.stage, now)
         # Session bookkeeping (conflict stats, read-your-writes watermarks,
         # metrics) runs BEFORE user callbacks: a callback that immediately
         # issues a follow-up transaction must observe this one's effects.

@@ -53,6 +53,15 @@ _ALLOWED: Dict[TxStage, FrozenSet[TxStage]] = {
 }
 
 
+#: Stages that occupy simulated time and therefore carry an obs span
+#: (``stage``/``<name>``, track = txid) from entry until the next
+#: transition.  Terminal stages are instants — the span of the stage being
+#: left ends there; no new span opens.
+SPANNED_STAGES: FrozenSet[TxStage] = frozenset(
+    {TxStage.READING, TxStage.PENDING, TxStage.GUESSED}
+)
+
+
 def check_transition(current: TxStage, new: TxStage) -> None:
     """Raise :class:`InvalidTransition` unless ``current -> new`` is legal."""
     if new not in _ALLOWED[current]:

@@ -31,6 +31,9 @@ class Runner:
         # aggregates deployment-wide statistics (think gossiped stats).
         conflicts = ConflictTracker()
         metrics = MetricsRegistry()
+        # Counters/latencies mirror into the obs event stream when a trace
+        # capture is active (no-op otherwise).
+        metrics.bind_tracer(cluster.sim.tracer, lambda: cluster.sim.now)
         workload = config.workload
         client_dcs = (
             list(workload.client_dcs)

@@ -74,6 +74,7 @@ class _InflightTx:
     __slots__ = (
         "request", "events", "options", "trackers", "proposed_at",
         "decided", "timeout_event", "prepare_votes", "phase", "ballot",
+        "round_span",
     )
 
     def __init__(self, request: TxRequest, events: TxEvents) -> None:
@@ -87,6 +88,7 @@ class _InflightTx:
         self.timeout_event = None
         self.phase = "read"
         self.ballot = None
+        self.round_span = None  # open obs span for the current Paxos round
 
 
 class MdccCoordinator(NetworkNode):
@@ -104,11 +106,14 @@ class MdccCoordinator(NetworkNode):
         self.config = config if config is not None else MdccConfig()
         self.replica_ids = list(replica_ids)
         self.local_replica_id = self._pick_local_replica(network)
-        self.ballots = BallotGenerator(node_id)
+        self.ballots = BallotGenerator(node_id, tracer=sim.tracer, clock=self._clock)
         self._inflight: Dict[str, _InflightTx] = {}
         self.decisions: List[Decision] = []
         self.crashed = False
         network.register(self)
+
+    def _clock(self) -> float:
+        return self.sim.now
 
     def _pick_local_replica(self, network: Network) -> str:
         for replica_id in self.replica_ids:
@@ -279,6 +284,12 @@ class MdccCoordinator(NetworkNode):
 
     def _send_prepares(self, tx: _InflightTx) -> None:
         tx.phase = "prepare"
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tx.round_span = tracer.begin(
+                self.sim.now, "paxos", "prepare_round",
+                track=tx.request.txid, coordinator=self.node_id, keys=len(tx.options),
+            )
         for key in tx.options:
             tx.prepare_votes[key] = set()
             for replica_id in self.replica_ids:
@@ -303,6 +314,14 @@ class MdccCoordinator(NetworkNode):
     def _send_accepts(self, tx: _InflightTx) -> None:
         tx.phase = "accept"
         now = self.sim.now
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.end(tx.round_span, now)  # classic path: prepare round done
+            tx.round_span = tracer.begin(
+                now, "paxos", "accept_round",
+                track=tx.request.txid, coordinator=self.node_id, keys=len(tx.options),
+                fast=tx.ballot.fast if tx.ballot is not None else True,
+            )
         for key, option in tx.options.items():
             tx.proposed_at[key] = now
             for replica_id in self.replica_ids:
@@ -321,6 +340,13 @@ class MdccCoordinator(NetworkNode):
         if tracker is None:
             return
         tracker.add_vote(msg.sender, msg.accepted)
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.emit(
+                self.sim.now, "paxos", "vote",
+                txid=msg.txid, key=msg.key, replica=msg.sender, accepted=msg.accepted,
+                accepts=tracker.accepts, rejects=tracker.rejects,
+            )
         tx.events.on_vote(tx.request, msg.key, msg.accepted, self.sim.now)
         if tracker.doomed:
             self._decide(tx, Outcome.ABORTED, AbortReason.CONFLICT)
@@ -360,6 +386,14 @@ class MdccCoordinator(NetworkNode):
                         options=options,
                     ),
                 )
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.end(tx.round_span, self.sim.now, outcome=outcome.value)
+            tx.round_span = None
+            tracer.emit(
+                self.sim.now, "tx", "decision",
+                txid=tx.request.txid, outcome=outcome.value, reason=reason.value,
+            )
         decision = Decision(
             txid=tx.request.txid, outcome=outcome, reason=reason, decided_at=self.sim.now
         )

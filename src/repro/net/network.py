@@ -87,23 +87,51 @@ class Network:
         message.recipient = recipient_id
         message.sent_at = self.sim.now
         self.messages_sent += 1
+        tracer = self.sim.tracer
 
         if self.partitions.drops(self.sim.now, sender.datacenter, recipient.datacenter):
             self.messages_dropped += 1
+            if tracer.enabled:
+                tracer.emit(
+                    self.sim.now, "message", "drop",
+                    kind=message.kind, src=sender_id, dst=recipient_id, cause="partition",
+                )
             return
         if self.loss_probability > 0 and self._rng.random() < self.loss_probability:
             self.messages_dropped += 1
+            if tracer.enabled:
+                tracer.emit(
+                    self.sim.now, "message", "drop",
+                    kind=message.kind, src=sender_id, dst=recipient_id, cause="loss",
+                )
             return
 
         delay = self.latency.sample_ms(
             sender.datacenter, recipient.datacenter, self.sim.now, self._rng
         )
+        if tracer.enabled:
+            tracer.emit(
+                self.sim.now, "message", "send",
+                kind=message.kind, src=sender_id, dst=recipient_id, delay_ms=delay,
+            )
         self.sim.schedule(delay, self._deliver, recipient_id, message)
 
     def _deliver(self, recipient_id: str, message: Message) -> None:
         node = self._nodes.get(recipient_id)
+        tracer = self.sim.tracer
         if node is None:  # node may have been torn down mid-flight
             self.messages_dropped += 1
+            if tracer.enabled:
+                tracer.emit(
+                    self.sim.now, "message", "drop",
+                    kind=message.kind, src=message.sender, dst=recipient_id, cause="gone",
+                )
             return
         self.messages_delivered += 1
+        if tracer.enabled:
+            # One completed span per delivered message: its wide-area flight.
+            tracer.span(
+                message.sent_at, self.sim.now, "message", message.kind,
+                track=f"net:{recipient_id}", src=message.sender, dst=recipient_id,
+            )
         node.receive(message)

@@ -1,0 +1,89 @@
+"""``repro.obs`` — system-wide tracing, span profiling, flight recording.
+
+The observability subsystem every other layer reports into:
+
+* :mod:`~repro.obs.events` — the structured event bus (`TraceEvent`,
+  `Tracer`, sinks) with a no-op fast path when tracing is off;
+* :mod:`~repro.obs.spans` — simulated-time spans with per-track nesting;
+* :mod:`~repro.obs.recorder` — the bounded flight recorder and its
+  deterministic digest;
+* :mod:`~repro.obs.export` — JSONL and Chrome ``trace_event`` export
+  (opens in ``chrome://tracing`` / Perfetto);
+* :mod:`~repro.obs.profile` — the "where did the milliseconds go"
+  simulated-time profiler.
+
+Typical use from tests or drivers::
+
+    from repro import obs
+
+    recorder = obs.FlightRecorder()
+    with obs.capture(recorder):
+        result = run_experiment(config)   # every Simulator created inside
+                                          # the block traces into recorder
+    obs.write_chrome_trace("trace.json", recorder)
+
+See ``docs/observability.md`` for the category reference and sink API.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterable, Iterator, Optional
+
+from repro.obs.events import (
+    CATEGORIES,
+    DEFAULT_CATEGORIES,
+    NULL_TRACER,
+    Sink,
+    TraceEvent,
+    Tracer,
+    capture_active,
+    events_from_transaction,
+    install,
+    new_tracer,
+    uninstall,
+)
+from repro.obs.export import chrome_trace, record_to_dict, write_chrome_trace, write_jsonl
+from repro.obs.profile import ProfileReport, SpanAggregator, render_profile
+from repro.obs.recorder import FlightRecorder
+from repro.obs.spans import Span
+
+__all__ = [
+    "CATEGORIES",
+    "DEFAULT_CATEGORIES",
+    "NULL_TRACER",
+    "FlightRecorder",
+    "ProfileReport",
+    "Sink",
+    "Span",
+    "SpanAggregator",
+    "TraceEvent",
+    "Tracer",
+    "capture",
+    "capture_active",
+    "chrome_trace",
+    "events_from_transaction",
+    "install",
+    "new_tracer",
+    "record_to_dict",
+    "render_profile",
+    "uninstall",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+
+@contextmanager
+def capture(
+    *sinks: Sink, categories: Optional[Iterable[str]] = DEFAULT_CATEGORIES
+) -> Iterator[None]:
+    """Trace every simulator created inside the block into ``sinks``.
+
+    ``categories`` defaults to everything except per-dispatch ``sim``
+    events; pass ``categories=None`` for the full firehose.
+    """
+    install(sinks, categories=categories)
+    try:
+        yield
+    finally:
+        uninstall()

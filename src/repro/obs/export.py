@@ -1,0 +1,150 @@
+"""Trace export: JSONL for tooling, Chrome ``trace_event`` for humans.
+
+The Chrome format (one JSON object with a ``traceEvents`` array) opens
+directly in ``chrome://tracing`` and https://ui.perfetto.dev: spans become
+complete (``"ph": "X"``) events laid out per track, instants become
+``"ph": "i"`` markers, and metadata events name each process/track so the
+UI shows ``tx-17`` or ``wal:store:ireland`` instead of bare thread ids.
+Timestamps are microseconds in that format; ours are simulated
+milliseconds, hence the ×1000.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Tuple, Union
+
+from repro.obs.events import TraceEvent
+from repro.obs.recorder import FlightRecorder
+from repro.obs.spans import Span
+
+Record = Union[TraceEvent, Span]
+
+
+def _json_safe(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def record_to_dict(record: Record) -> Dict[str, Any]:
+    """Flat JSON form of one record (the JSONL schema)."""
+    fields = {key: _json_safe(value) for key, value in record.fields.items()}
+    if isinstance(record, TraceEvent):
+        return {
+            "type": "event",
+            "time_ms": record.time_ms,
+            "category": record.category,
+            "name": record.name,
+            "pid": record.pid,
+            "fields": fields,
+        }
+    return {
+        "type": "span",
+        "start_ms": record.start_ms,
+        "end_ms": record.end_ms,
+        "category": record.category,
+        "name": record.name,
+        "track": record.track,
+        "depth": record.depth,
+        "pid": record.pid,
+        "fields": fields,
+    }
+
+
+def write_jsonl(path: str, records: Iterable[Record]) -> int:
+    """One record per line; returns the number of lines written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record_to_dict(record), sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event
+# ----------------------------------------------------------------------
+def chrome_trace(records: Iterable[Record]) -> Dict[str, Any]:
+    """Build the Chrome ``trace_event`` document for ``records``.
+
+    Tracks map to Chrome *threads*: each distinct (pid, track) pair gets a
+    stable small tid (first-appearance order) plus a ``thread_name``
+    metadata event.  Instants without a track land on tid 0.
+    """
+    tids: Dict[Tuple[int, str], int] = {}
+    next_tid: Dict[int, int] = {}
+    trace_events: List[Dict[str, Any]] = []
+    pids = set()
+
+    def tid_for(pid: int, track: str) -> int:
+        key = (pid, track)
+        tid = tids.get(key)
+        if tid is None:
+            tid = next_tid.get(pid, 0) + 1
+            next_tid[pid] = tid
+            tids[key] = tid
+            trace_events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": track},
+                }
+            )
+        return tid
+
+    for record in records:
+        pids.add(record.pid)
+        args = {key: _json_safe(value) for key, value in record.fields.items()}
+        if isinstance(record, TraceEvent):
+            trace_events.append(
+                {
+                    "name": record.name,
+                    "cat": record.category,
+                    "ph": "i",
+                    "ts": record.time_ms * 1000.0,
+                    "pid": record.pid,
+                    "tid": 0,
+                    "s": "t",
+                    "args": args,
+                }
+            )
+        else:
+            end_ms = record.end_ms if record.end_ms is not None else record.start_ms
+            args["track"] = record.track
+            trace_events.append(
+                {
+                    "name": record.name,
+                    "cat": record.category,
+                    "ph": "X",
+                    "ts": record.start_ms * 1000.0,
+                    "dur": (end_ms - record.start_ms) * 1000.0,
+                    "pid": record.pid,
+                    "tid": tid_for(record.pid, record.track),
+                    "args": args,
+                }
+            )
+    for pid in sorted(pids):
+        trace_events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"simulator-{pid}"},
+            }
+        )
+    # Chrome sorts by ts itself, but a sorted file diffs better.
+    trace_events.sort(key=lambda e: (e.get("ts", -1.0), e["pid"], e["tid"], e["name"]))
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str, recorder: FlightRecorder) -> Dict[str, Any]:
+    """Write the recorder's contents as a Chrome trace; returns the document."""
+    document = chrome_trace(recorder.records())
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+    return document

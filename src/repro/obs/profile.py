@@ -1,0 +1,230 @@
+"""The simulated-time profiler: where did the milliseconds go?
+
+A :class:`SpanAggregator` sink collects every finished span of a run; from
+those, :meth:`SpanAggregator.profile` answers two different questions:
+
+* **span statistics** per category — how many spans, total/mean/p99 span
+  duration.  Spans overlap freely (hundreds of transactions are in flight
+  at once), so these totals routinely exceed the run duration; they measure
+  *work*, not wall time.
+* **attributed time** — a partition of the run's simulated timeline
+  ``[0, T]`` where every instant is charged to exactly one category: the
+  highest-priority category with a span covering it (innermost activity
+  wins: a WAL sync inside a Paxos round charges to ``wal``), and ``idle``
+  when nothing is open.  Attributed totals sum to the run duration by
+  construction, which is what makes the resulting table read like a
+  profiler's "% of run" column.
+
+Rendering is plain aligned text with a ``#`` bar per row, in the same
+self-contained ASCII style as :mod:`repro.harness.ascii_plot` (the module
+stays dependency-free so ``obs`` sits below the harness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.events import Sink
+from repro.obs.spans import Span
+
+#: Attribution priority, innermost first: when spans of several categories
+#: cover the same instant, the earliest category in this tuple is charged.
+ATTRIBUTION_PRIORITY: Tuple[str, ...] = (
+    "wal",
+    "paxos",
+    "message",
+    "stage",
+    "admission",
+    "tx",
+    "metric",
+    "sim",
+)
+
+IDLE = "idle"
+
+
+@dataclass
+class CategoryProfile:
+    category: str
+    count: int = 0
+    total_ms: float = 0.0
+    max_ms: float = 0.0
+    attributed_ms: float = 0.0
+    durations: List[float] = field(default_factory=list)
+
+    @property
+    def mean_ms(self) -> float:
+        return self.total_ms / self.count if self.count else 0.0
+
+    def p99_ms(self) -> float:
+        if not self.durations:
+            return 0.0
+        ordered = sorted(self.durations)
+        index = min(len(ordered) - 1, int(0.99 * (len(ordered) - 1) + 0.5))
+        return ordered[index]
+
+
+@dataclass
+class ProfileReport:
+    """One simulator's profile: per-category stats + the time attribution."""
+
+    pid: int
+    duration_ms: float
+    categories: List[CategoryProfile]
+    idle_ms: float
+
+    @property
+    def attributed_total_ms(self) -> float:
+        return self.idle_ms + sum(c.attributed_ms for c in self.categories)
+
+
+class SpanAggregator(Sink):
+    """Collects spans per simulator (pid) for profiling."""
+
+    def __init__(self) -> None:
+        self._spans: Dict[int, List[Span]] = {}
+
+    def on_span(self, span: Span) -> None:
+        self._spans.setdefault(span.pid, []).append(span)
+
+    def pids(self) -> List[int]:
+        return sorted(self._spans)
+
+    def spans(self, pid: int) -> List[Span]:
+        return list(self._spans.get(pid, ()))
+
+    # ------------------------------------------------------------------
+    def profile(self, pid: int, duration_ms: Optional[float] = None) -> ProfileReport:
+        """Build the report for one simulator.
+
+        ``duration_ms`` defaults to the latest span end seen — the horizon
+        the attribution partitions.  Pass the run's own duration to include
+        trailing idle time.
+        """
+        spans = [s for s in self._spans.get(pid, ()) if s.end_ms is not None]
+        profiles: Dict[str, CategoryProfile] = {}
+        for span in spans:
+            profile = profiles.get(span.category)
+            if profile is None:
+                profile = profiles[span.category] = CategoryProfile(span.category)
+            d = span.duration_ms
+            profile.count += 1
+            profile.total_ms += d
+            profile.durations.append(d)
+            if d > profile.max_ms:
+                profile.max_ms = d
+
+        horizon = max((s.end_ms for s in spans), default=0.0)
+        if duration_ms is not None:
+            horizon = max(horizon, duration_ms)
+        attributed, idle_ms = _attribute(spans, horizon)
+        for category, ms in attributed.items():
+            profiles[category].attributed_ms = ms
+
+        ordered = sorted(
+            profiles.values(), key=lambda p: (-p.attributed_ms, -p.total_ms, p.category)
+        )
+        return ProfileReport(pid=pid, duration_ms=horizon, categories=ordered, idle_ms=idle_ms)
+
+
+def _attribute(spans: List[Span], horizon: float) -> Tuple[Dict[str, float], float]:
+    """Partition ``[0, horizon]`` across categories by innermost priority.
+
+    Sweep line over span boundaries keeping one open-interval counter per
+    category; each elementary interval is charged to the highest-priority
+    category with a positive counter, or to idle.
+    """
+    if horizon <= 0.0:
+        return {}, 0.0
+    rank = {category: i for i, category in enumerate(ATTRIBUTION_PRIORITY)}
+    boundaries: List[Tuple[float, int, int]] = []  # (time, +1/-1, category rank)
+    extra_rank = len(rank)
+    for span in spans:
+        r = rank.get(span.category)
+        if r is None:  # unknown categories attribute after the known ones
+            r = rank[span.category] = extra_rank
+            extra_rank += 1
+        start = min(span.start_ms, horizon)
+        end = min(span.end_ms, horizon)
+        if end <= start:
+            continue
+        boundaries.append((start, +1, r))
+        boundaries.append((end, -1, r))
+    categories_by_rank = sorted(rank, key=rank.get)
+    totals: Dict[str, float] = {}
+    idle_ms = 0.0
+    if not boundaries:
+        return totals, horizon
+
+    boundaries.sort(key=lambda b: b[0])
+    open_counts = [0] * len(categories_by_rank)
+    cursor = 0.0
+    index = 0
+    n = len(boundaries)
+    while index < n:
+        time = boundaries[index][0]
+        if time > cursor:
+            width = time - cursor
+            charged = _innermost(open_counts)
+            if charged is None:
+                idle_ms += width
+            else:
+                category = categories_by_rank[charged]
+                totals[category] = totals.get(category, 0.0) + width
+            cursor = time
+        while index < n and boundaries[index][0] == time:
+            _t, delta, r = boundaries[index]
+            open_counts[r] += delta
+            index += 1
+    if horizon > cursor:
+        idle_ms += horizon - cursor
+    return totals, idle_ms
+
+
+def _innermost(open_counts: List[int]) -> Optional[int]:
+    for r, count in enumerate(open_counts):
+        if count > 0:
+            return r
+    return None
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def render_profile(report: ProfileReport, width: int = 28) -> str:
+    """The "where did the milliseconds go" table for one simulator."""
+    title = (
+        f"simulated-time profile — simulator #{report.pid}, "
+        f"{report.duration_ms:.1f} ms simulated"
+    )
+    header = (
+        f"{'category':<10} {'spans':>7} {'total ms':>11} {'mean ms':>9} "
+        f"{'p99 ms':>9} {'attrib ms':>11} {'% of run':>8}  "
+    )
+    lines = [title, "-" * len(header), header, "-" * len(header)]
+    duration = report.duration_ms or 1.0
+    rows = list(report.categories) + [
+        CategoryProfile(IDLE, attributed_ms=report.idle_ms)
+    ]
+    for profile in rows:
+        pct = 100.0 * profile.attributed_ms / duration
+        bar = "#" * int(round(pct / 100.0 * width))
+        if profile.category == IDLE:
+            stats = f"{'-':>7} {'-':>11} {'-':>9} {'-':>9}"
+        else:
+            stats = (
+                f"{profile.count:>7} {profile.total_ms:>11.1f} "
+                f"{profile.mean_ms:>9.2f} {profile.p99_ms():>9.2f}"
+            )
+        lines.append(
+            f"{profile.category:<10} {stats} {profile.attributed_ms:>11.1f} "
+            f"{pct:>7.1f}%  {bar}"
+        )
+    lines.append("-" * len(header))
+    total = report.attributed_total_ms
+    lines.append(
+        f"{'total':<10} {'':>7} {'':>11} {'':>9} {'':>9} {total:>11.1f} "
+        f"{100.0 * total / duration:>7.1f}%"
+    )
+    return "\n".join(lines)

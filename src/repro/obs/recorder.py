@@ -1,0 +1,125 @@
+"""The flight recorder: a bounded in-memory ring of events and spans.
+
+Always-on tracing must not grow without bound, so the recorder keeps only
+the last ``capacity`` records (``collections.deque`` eviction) and counts
+what it dropped.  Its :meth:`FlightRecorder.digest` is the replay-
+determinism oracle: two runs with the same seed must produce byte-identical
+digests, which pins down *every* instrumented decision in the stack —
+message timing, vote order, WAL syncs — far more tightly than comparing
+final aggregates.
+
+Transaction ids come from a process-global counter (``repro.ops``), so a
+second run in the same process sees different raw ids; the digest
+canonicalises every ``<word>-<number>`` identifier to its first-appearance
+ordinal, making it a function of run *behaviour* only.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from collections import deque
+from typing import Any, Deque, Dict, List, Tuple, Union
+
+from repro.obs.events import Sink, TraceEvent
+from repro.obs.spans import Span
+
+Record = Union[TraceEvent, Span]
+
+#: Counter-minted identifiers (``tx-17``, ``pay-3``, ``order-42``) that the
+#: digest renames to first-appearance ordinals.
+_COUNTER_ID = re.compile(r"\b([A-Za-z]+)-(\d+)\b")
+
+
+class FlightRecorder(Sink):
+    """Ring-buffer sink retaining the most recent ``capacity`` records."""
+
+    def __init__(self, capacity: int = 100_000) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._records: Deque[Record] = deque(maxlen=capacity)
+        self.seen_events = 0
+        self.seen_spans = 0
+
+    # -- Sink ----------------------------------------------------------
+    def on_event(self, event: TraceEvent) -> None:
+        self.seen_events += 1
+        self._records.append(event)
+
+    def on_span(self, span: Span) -> None:
+        self.seen_spans += 1
+        self._records.append(span)
+
+    # -- Introspection -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def seen(self) -> int:
+        return self.seen_events + self.seen_spans
+
+    @property
+    def evicted(self) -> int:
+        return self.seen - len(self._records)
+
+    def records(self) -> List[Record]:
+        """Retained records in arrival order (spans arrive at their end)."""
+        return list(self._records)
+
+    def events(self) -> List[TraceEvent]:
+        return [r for r in self._records if isinstance(r, TraceEvent)]
+
+    def spans(self) -> List[Span]:
+        return [r for r in self._records if isinstance(r, Span)]
+
+    def categories(self) -> List[str]:
+        return sorted({r.category for r in self._records})
+
+    def clear(self) -> None:
+        self._records.clear()
+        self.seen_events = 0
+        self.seen_spans = 0
+
+    # -- Determinism digest --------------------------------------------
+    def digest(self) -> str:
+        """SHA-256 over the canonical serialisation of the retained records.
+
+        Same seed ⇒ same digest, independent of process history (see module
+        docstring) and of which simulator pid emitted what.
+        """
+        renames: Dict[str, str] = {}
+
+        def canon_id(match: "re.Match[str]") -> str:
+            token = match.group(0)
+            renamed = renames.get(token)
+            if renamed is None:
+                renamed = f"{match.group(1)}#{len(renames)}"
+                renames[token] = renamed
+            return renamed
+
+        def canon(value: Any) -> str:
+            if isinstance(value, float):
+                text = f"{value:.6f}"
+            else:
+                text = str(value)
+            return _COUNTER_ID.sub(canon_id, text)
+
+        hasher = hashlib.sha256()
+        for record in self._records:
+            if isinstance(record, TraceEvent):
+                parts = ["E", canon(record.time_ms), record.category, record.name]
+            else:
+                parts = [
+                    "S",
+                    canon(record.start_ms),
+                    canon(record.end_ms if record.end_ms is not None else -1.0),
+                    record.category,
+                    record.name,
+                    canon(record.track),
+                    str(record.depth),
+                ]
+            parts.extend(f"{key}={canon(record.fields[key])}" for key in sorted(record.fields))
+            hasher.update("|".join(parts).encode("utf-8"))
+            hasher.update(b"\n")
+        return hasher.hexdigest()

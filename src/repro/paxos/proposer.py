@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+from typing import Callable, Optional
+
+from repro.obs.events import NULL_TRACER, Tracer
 from repro.paxos.ballot import Ballot
 
 #: The distinguished counter every coordinator may use for fast rounds
@@ -14,15 +17,38 @@ class BallotGenerator:
 
     The fast ballot is shared and constant; classic ballots are monotonically
     increasing per proposer and globally ordered by (counter, proposer_id).
+
+    When a ``tracer`` and ``clock`` are supplied, every mint emits a
+    ``paxos``/``ballot`` event — classic-ballot mints in particular mark
+    where the engine fell off the fast path.
     """
 
-    def __init__(self, proposer_id: str) -> None:
+    def __init__(
+        self,
+        proposer_id: str,
+        tracer: Optional[Tracer] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
         self.proposer_id = proposer_id
         self._counter = FAST_BALLOT_COUNTER
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._clock = clock if clock is not None else (lambda: 0.0)
 
     def fast_ballot(self) -> Ballot:
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.emit(
+                self._clock(), "paxos", "ballot",
+                proposer=self.proposer_id, fast=True, counter=FAST_BALLOT_COUNTER,
+            )
         return Ballot(FAST_BALLOT_COUNTER, "", fast=True)
 
     def next_classic(self) -> Ballot:
         self._counter += 1
+        tracer = self._tracer
+        if tracer.enabled:
+            tracer.emit(
+                self._clock(), "paxos", "ballot",
+                proposer=self.proposer_id, fast=False, counter=self._counter,
+            )
         return Ballot(self._counter, self.proposer_id, fast=False)

@@ -8,6 +8,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
+from repro.obs.events import Tracer, new_tracer
 from repro.sim.events import Event, EventQueue
 from repro.sim.rng import RngRegistry
 
@@ -28,6 +29,11 @@ class Simulator:
         self.now: float = 0.0
         self.seed = seed
         self.rng = RngRegistry(seed)
+        # The per-simulator tracer (repro.obs).  Disabled — a single branch
+        # per instrumented call site — unless an obs capture is installed
+        # or a sink is attached directly; components read it at call time
+        # via their ``sim`` reference, so enabling is instant everywhere.
+        self.tracer: Tracer = new_tracer()
         self._queue = EventQueue()
         self._events_processed = 0
         self._running = False
@@ -73,6 +79,13 @@ class Simulator:
             return False
         self.now = event.time
         self._events_processed += 1
+        tracer = self.tracer
+        if tracer.enabled:
+            fn = event.fn
+            tracer.emit(
+                self.now, "sim", "dispatch",
+                fn=getattr(fn, "__qualname__", None) or type(fn).__name__,
+            )
         event.fn(*event.args)
         return True
 

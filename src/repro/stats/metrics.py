@@ -8,8 +8,9 @@ lists) is what lets the determinism property test compare whole runs.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.obs.events import Tracer
 from repro.stats.histogram import LatencyCdf
 
 
@@ -18,10 +19,27 @@ class MetricsRegistry:
         self._counters: Dict[str, int] = defaultdict(int)
         self._latencies: Dict[str, LatencyCdf] = {}
         self._series: Dict[str, List[Tuple[float, float]]] = defaultdict(list)
+        self._tracer: Optional[Tracer] = None
+        self._clock: Callable[[], float] = lambda: 0.0
+
+    # Observability adapter --------------------------------------------
+    def bind_tracer(self, tracer: Tracer, clock: Callable[[], float]) -> None:
+        """Mirror every counter increment and latency sample into the obs
+        event stream (category ``metric``), timestamped by ``clock``.
+
+        The registry has no time source of its own, hence the explicit
+        clock (normally ``lambda: sim.now``); unbound registries behave
+        exactly as before.
+        """
+        self._tracer = tracer
+        self._clock = clock
 
     # Counters ----------------------------------------------------------
     def increment(self, name: str, amount: int = 1) -> None:
         self._counters[name] += amount
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit(self._clock(), "metric", name, delta=amount)
 
     def counter(self, name: str) -> int:
         return self._counters.get(name, 0)
@@ -39,6 +57,9 @@ class MetricsRegistry:
 
     def observe_latency(self, name: str, value_ms: float) -> None:
         self.latency(name).update(value_ms)
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit(self._clock(), "metric", name, value_ms=value_ms)
 
     def latency_names(self) -> List[str]:
         return sorted(self._latencies)

@@ -37,7 +37,10 @@ class StorageNode(NetworkNode):
         self.sim = sim
         self.store = KVStore(default_value=default_value)
         self.wal = WriteAheadLog(
-            sync_delay_ms=wal_sync_delay_ms, batch_window_ms=wal_batch_window_ms
+            sync_delay_ms=wal_sync_delay_ms,
+            batch_window_ms=wal_batch_window_ms,
+            tracer=sim.tracer,
+            label=node_id,
         )
         self._handlers: Dict[Type[Message], Handler] = {}
 

@@ -16,7 +16,9 @@ the sync-count reduction against the added per-write latency.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List
+from typing import Any, List, Optional
+
+from repro.obs.events import NULL_TRACER, Tracer
 
 
 @dataclass(frozen=True)
@@ -33,13 +35,21 @@ class WriteAheadLog:
     """An append-only log; ``append`` returns the delay until the entry is
     durable, which the caller adds before sending its acknowledgement."""
 
-    def __init__(self, sync_delay_ms: float = 0.5, batch_window_ms: float = 0.0) -> None:
+    def __init__(
+        self,
+        sync_delay_ms: float = 0.5,
+        batch_window_ms: float = 0.0,
+        tracer: Optional[Tracer] = None,
+        label: str = "wal",
+    ) -> None:
         if sync_delay_ms < 0:
             raise ValueError("sync_delay_ms must be >= 0")
         if batch_window_ms < 0:
             raise ValueError("batch_window_ms must be >= 0")
         self.sync_delay_ms = sync_delay_ms
         self.batch_window_ms = batch_window_ms
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.label = label
         self.entries: List[WalEntry] = []
         self.sync_count = 0
         self._batch_flush_at: float = -1.0  # durable instant of the open batch
@@ -64,6 +74,16 @@ class WriteAheadLog:
             durable_at=durable_at,
         )
         self.entries.append(entry)
+        tracer = self.tracer
+        if tracer.enabled:
+            # One span per append covering its durability window; batched
+            # appends overlap on the same track, which is exactly how group
+            # commit looks in a trace viewer.
+            tracer.span(
+                now, durable_at, "wal",
+                "sync" if self.batch_window_ms == 0 else "group_commit",
+                track=f"wal:{self.label}", kind=kind, txid=txid, lsn=entry.lsn,
+            )
         return durable_at - now
 
     def entries_for(self, txid: str) -> List[WalEntry]:

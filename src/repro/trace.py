@@ -1,10 +1,11 @@
 """Per-transaction timelines: reconstruct and render what happened when.
 
 A :class:`~repro.core.transaction.PlanetTransaction` carries everything
-needed to audit its life after the fact — stage transition timestamps, the
-likelihood trace (one point per replica vote), and the decision.  This
-module turns that into a structured timeline and an ASCII rendering, used
-by examples and debugging sessions::
+needed to audit its life after the fact; the
+:func:`repro.obs.events_from_transaction` adapter turns that audit surface
+into the same structured :class:`~repro.obs.TraceEvent` stream live
+tracing emits, and this module is a thin renderer over it — a structured
+timeline and an ASCII rendering, used by examples and debugging sessions::
 
     t=   0.00 ms | submitted (reading)
     t=   1.52 ms | options proposed (pending)
@@ -21,6 +22,7 @@ from typing import List, Optional
 
 from repro.core.stages import TxStage
 from repro.core.transaction import PlanetTransaction
+from repro.obs.events import TraceEvent, events_from_transaction
 
 
 @dataclass(frozen=True)
@@ -46,23 +48,34 @@ _STAGE_LABELS = {
 }
 
 
-def build_timeline(tx: PlanetTransaction) -> List[TimelineEvent]:
-    """All of the transaction's events, time-ordered."""
-    events: List[TimelineEvent] = []
-    for stage, when in tx.stage_times.items():
-        label = _STAGE_LABELS.get(stage, stage.value)
+def _render_event(event: TraceEvent) -> TimelineEvent:
+    """One obs event as a human timeline row."""
+    if event.category == "stage":
+        label = _STAGE_LABELS.get(TxStage(event.name), event.name)
         detail = ""
-        if stage is TxStage.GUESSED and tx.predicted_at_guess is not None:
-            detail = f"p={tx.predicted_at_guess:.3f}"
-        elif stage is TxStage.ABORTED:
-            detail = tx.abort_reason.value
-        elif stage is TxStage.COMMITTED and tx.commit_latency_ms() is not None:
-            detail = f"latency {tx.commit_latency_ms():.2f} ms"
-        events.append(TimelineEvent(when, label, detail))
-    for when, likelihood in tx.likelihood_trace:
-        events.append(
-            TimelineEvent(when, "replica vote", f"likelihood {likelihood:.3f}")
+        if "p" in event.fields:
+            detail = f"p={event.fields['p']:.3f}"
+        elif "reason" in event.fields:
+            detail = event.fields["reason"]
+        elif "latency_ms" in event.fields:
+            detail = f"latency {event.fields['latency_ms']:.2f} ms"
+        return TimelineEvent(event.time_ms, label, detail)
+    if event.category == "tx" and event.name == "vote":
+        return TimelineEvent(
+            event.time_ms, "replica vote", f"likelihood {event.fields['likelihood']:.3f}"
         )
+    fields = ", ".join(f"{k}={v}" for k, v in sorted(event.fields.items()))
+    return TimelineEvent(event.time_ms, f"{event.category}/{event.name}", fields)
+
+
+def build_timeline(tx: PlanetTransaction) -> List[TimelineEvent]:
+    """All of the transaction's events, time-ordered.
+
+    Consumes the :mod:`repro.obs` event stream for the transaction rather
+    than the transaction's internals directly, so the timeline stays in
+    lock-step with what live tracing reports.
+    """
+    events = [_render_event(event) for event in events_from_transaction(tx)]
     events.sort(key=lambda event: (event.time_ms, event.label))
     return events
 
