@@ -15,10 +15,24 @@ import pytest
 BENCH_SCALE = 0.3
 
 
+def pytest_collection_modifyitems(items):
+    """Everything in benchmarks/ carries the ``benchmarks`` marker, so the
+    tier-1 ``pytest`` run (testpaths=["tests"]) can also exclude it by
+    marker when invoked with explicit paths: ``-m "not benchmarks"``."""
+    for item in items:
+        item.add_marker(pytest.mark.benchmarks)
+
+
 def run_and_check(benchmark, experiment_module, scale: float = BENCH_SCALE, seed: int = 0):
-    """Benchmark one experiment driver and assert its shape checks."""
+    """Benchmark one experiment driver and assert its shape checks.
+
+    Runs through the registered spec (the registry/sweep path the CLI
+    uses); modules without one fall back to their bare ``run``.
+    """
+    spec = getattr(experiment_module, "SPEC", None)
+    runner = spec.run if spec is not None else experiment_module.run
     result = benchmark.pedantic(
-        experiment_module.run, kwargs={"seed": seed, "scale": scale}, rounds=1, iterations=1
+        runner, kwargs={"seed": seed, "scale": scale}, rounds=1, iterations=1
     )
     failures = [str(check) for check in result.checks if not check.passed]
     assert not failures, "shape checks failed:\n" + "\n".join(failures)

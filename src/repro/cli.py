@@ -4,14 +4,26 @@ Usage::
 
     python -m repro list
     python -m repro run f6_commit_latency [--seed 3] [--scale 0.5]
+    python -m repro run f9 --jobs 4           # shard the sweep across workers
+    python -m repro run f9 --set admission_threshold=0.5
     python -m repro run f6 --profile          # where did the milliseconds go
     python -m repro run --all [--scale 0.3]
     python -m repro trace f6 --out f6.json    # Chrome trace_event capture
 
-Experiment ids accept unambiguous prefixes (``f6`` → ``f6_commit_latency``).
+Experiment ids accept unambiguous prefixes (``f6`` → ``f6_commit_latency``);
+discovery and prefix matching live in :mod:`repro.experiments.registry`.
 Every experiment prints the rows/series of the corresponding paper
 figure/table plus its shape checks; the exit code is non-zero when any
 shape check fails, so the CLI composes with scripts and CI.
+
+``run`` executes each experiment's grid through the
+:mod:`repro.harness.parallel` sweep executor: ``--jobs N`` shards points
+across worker processes (deterministically — same digests as ``--jobs 1``),
+completed points are cached under ``--cache-dir`` (default
+``.repro_cache``, or ``$REPRO_CACHE_DIR``; disable with ``--no-cache``),
+and ``--set key=value`` overrides any :class:`PlanetConfig` field for the
+whole run (dotted keys reach nested configs, e.g.
+``--set likelihood.use_deadline=false``).
 
 ``trace`` re-runs one experiment with the :mod:`repro.obs` flight recorder
 installed and writes a Chrome ``trace_event`` file that opens directly in
@@ -22,87 +34,106 @@ aggregates spans into a per-category simulated-time breakdown per simulator.
 from __future__ import annotations
 
 import argparse
-import importlib
+import os
 import sys
-from typing import List
+from typing import Dict, List, Optional
 
 from repro import obs
-from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments import registry
+from repro.experiments.registry import ExperimentSpec
 
-_TITLES = {
-    "t1_rtt_matrix": "inter-DC RTT matrix (latency substrate validation)",
-    "f6_commit_latency": "commit latency CDF, PLANET/MDCC vs 2PC",
-    "f7_guess_vs_commit": "time-to-guess vs time-to-commit CDFs",
-    "f8_calibration": "commit-likelihood calibration",
-    "f9_threshold_sweep": "speculation accuracy vs guess threshold",
-    "f10_contention": "abort rate and abort cost vs contention",
-    "f11_admission": "goodput vs offered load with admission control",
-    "f12_spikes": "behaviour under injected latency spikes",
-    "t2_summary": "end-to-end workload summary",
-    "a1_likelihood_ablation": "ablation: likelihood-model variants",
-    "a2_fast_paxos": "ablation: fast vs classic Paxos path",
-    "a3_admission_policy": "ablation: likelihood vs random shedding",
-    "f13_coordinator_failure": "coordinator crash and the orphan-recovery protocol",
-    "s1_scaleout": "sensitivity: commit latency vs number of regions",
-    "s2_jitter": "sensitivity: latency variance (lognormal sigma sweep)",
-    "s3_message_loss": "sensitivity: message loss with deadlines + recovery",
-    "t3_tpcw_mix": "full TPC-W-like mix, per-transaction-type breakdown",
-    "a4_group_commit": "ablation: WAL group commit (syncs saved vs latency added)",
-    "t4_ycsb": "YCSB core workloads (A-F) summary on the PLANET stack",
-}
+DEFAULT_CACHE_DIR = ".repro_cache"
 
 
 def resolve_experiment_id(experiment_id: str) -> str:
     """Exact id, or a unique prefix of one (``f6`` → ``f6_commit_latency``)."""
-    if experiment_id in ALL_EXPERIMENTS:
-        return experiment_id
-    matches = [name for name in ALL_EXPERIMENTS if name.startswith(experiment_id)]
-    if len(matches) == 1:
-        return matches[0]
-    if matches:
-        raise SystemExit(
-            f"ambiguous experiment {experiment_id!r}: matches {', '.join(matches)}"
-        )
-    raise SystemExit(
-        f"unknown experiment {experiment_id!r}; try: python -m repro list"
-    )
+    return _resolve_spec(experiment_id).id
 
 
-def _load(experiment_id: str):
-    return importlib.import_module(
-        f"repro.experiments.{resolve_experiment_id(experiment_id)}"
-    )
+def _resolve_spec(experiment_id: str) -> ExperimentSpec:
+    try:
+        return registry.get(experiment_id)
+    except LookupError as exc:  # Unknown/Ambiguous → CLI-friendly exit
+        raise SystemExit(str(exc)) from exc
+
+
+def _parse_overrides(pairs: Optional[List[str]]) -> Dict[str, str]:
+    from repro.core.session import PlanetConfig
+    from repro.harness.overrides import ConfigOverrideError, parse_override_args
+
+    try:
+        overrides = parse_override_args(pairs or [])
+        # Validate once, up front, against the config the drivers build —
+        # a typo should die here, not minutes into a sweep point.
+        PlanetConfig.from_overrides(overrides)
+    except ConfigOverrideError as exc:
+        raise SystemExit(f"bad --set override: {exc}") from exc
+    return overrides
 
 
 def cmd_list(_args: argparse.Namespace) -> int:
-    width = max(len(name) for name in ALL_EXPERIMENTS)
-    for name in ALL_EXPERIMENTS:
-        print(f"  {name.ljust(width)}  {_TITLES.get(name, '')}")
+    specs = registry.all()
+    width = max(len(spec.id) for spec in specs)
+    for spec in specs:
+        print(f"  {spec.id.ljust(width)}  {spec.title}")
     return 0
 
 
+def _build_cache(args: argparse.Namespace):
+    if getattr(args, "no_cache", False):
+        return None
+    from repro.harness.cache import ResultCache
+
+    directory = args.cache_dir or os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
+    return ResultCache(directory)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
-    targets: List[str] = ALL_EXPERIMENTS if args.all else args.experiments
+    from repro.harness.parallel import SweepOptions, run_sweep
+
+    targets: List[str] = (
+        registry.ids() if args.all else [_resolve_spec(e).id for e in args.experiments]
+    )
     if not targets:
         raise SystemExit("nothing to run: name experiments or pass --all")
+    overrides = _parse_overrides(args.set)
     json_dir = None
     if args.json is not None:
         import pathlib
 
         json_dir = pathlib.Path(args.json)
         json_dir.mkdir(parents=True, exist_ok=True)
+    options = SweepOptions(
+        jobs=args.jobs,
+        cache=_build_cache(args),
+        point_timeout_s=args.point_timeout,
+        progress=lambda message: print(message, file=sys.stderr),
+    )
     failures = 0
     for experiment_id in targets:
-        experiment_id = resolve_experiment_id(experiment_id)
-        module = _load(experiment_id)
+        spec = _resolve_spec(experiment_id)
         if args.profile:
             profiler = obs.SpanAggregator()
             with obs.capture(profiler):
-                result = module.run(seed=args.seed, scale=args.scale)
+                sweep = run_sweep(
+                    spec, seed=args.seed, scale=args.scale,
+                    overrides=overrides, options=options,
+                )
         else:
             profiler = None
-            result = module.run(seed=args.seed, scale=args.scale)
+            sweep = run_sweep(
+                spec, seed=args.seed, scale=args.scale,
+                overrides=overrides, options=options,
+            )
+        result = sweep.result
         result.print()
+        summary = (
+            f"[sweep] {spec.id}: {len(sweep.result_set.points)} point(s), "
+            f"jobs={sweep.jobs}, {sweep.wall_s:.1f}s wall"
+        )
+        if options.cache is not None:
+            summary += f", cache {sweep.cache_hits} hit / {sweep.cache_misses} miss"
+        print(summary, file=sys.stderr)
         if profiler is not None:
             for pid in profiler.pids():
                 print(obs.render_profile(profiler.profile(pid)))
@@ -110,7 +141,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         if json_dir is not None:
             import json as json_module
 
-            path = json_dir / f"{experiment_id}.json"
+            path = json_dir / f"{spec.id}.json"
             path.write_text(json_module.dumps(result.to_dict(), indent=2))
             print(f"wrote {path}")
         if not result.all_checks_pass:
@@ -122,8 +153,8 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    experiment_id = resolve_experiment_id(args.experiment)
-    module = _load(experiment_id)
+    spec = _resolve_spec(args.experiment)
+    overrides = _parse_overrides(args.set)
     if args.categories:
         categories = frozenset(args.categories.split(","))
         unknown = categories - frozenset(obs.CATEGORIES)
@@ -136,14 +167,14 @@ def cmd_trace(args: argparse.Namespace) -> int:
         categories = obs.DEFAULT_CATEGORIES
     recorder = obs.FlightRecorder(capacity=args.capacity)
     with obs.capture(recorder, categories=categories):
-        result = module.run(seed=args.seed, scale=args.scale)
+        result = spec.run(seed=args.seed, scale=args.scale, overrides=overrides)
     document = obs.write_chrome_trace(args.out, recorder)
     if args.jsonl is not None:
         lines = obs.write_jsonl(args.jsonl, recorder.records())
         print(f"wrote {lines} records to {args.jsonl}")
     evicted = f" ({recorder.evicted} evicted)" if recorder.evicted else ""
     print(
-        f"traced {experiment_id}: {recorder.seen_events} events, "
+        f"traced {spec.id}: {recorder.seen_events} events, "
         f"{recorder.seen_spans} spans{evicted}; categories: "
         f"{', '.join(recorder.categories())}"
     )
@@ -175,6 +206,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="duration/sample scale factor (1.0 = full reproduction)",
     )
     run_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes to shard grid points across (default: 1, "
+        "serial; results are identical at any value)",
+    )
+    run_parser.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=VALUE",
+        default=None,
+        help="override a PlanetConfig field for the whole run (repeatable; "
+        "dotted keys reach nested configs, e.g. likelihood.use_deadline=false)",
+    )
+    run_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=f"per-point result cache directory (default: $REPRO_CACHE_DIR "
+        f"or {DEFAULT_CACHE_DIR})",
+    )
+    run_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every point; do not read or write the cache",
+    )
+    run_parser.add_argument(
+        "--point-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill and retry a grid point stuck longer than this "
+        "(parallel mode only)",
+    )
+    run_parser.add_argument(
         "--json",
         metavar="DIR",
         default=None,
@@ -204,6 +270,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="duration/sample scale factor (1.0 = full reproduction)",
     )
     trace_parser.add_argument(
+        "--set",
+        action="append",
+        metavar="KEY=VALUE",
+        default=None,
+        help="override a PlanetConfig field for the traced run (repeatable)",
+    )
+    trace_parser.add_argument(
         "--capacity",
         type=int,
         default=1_000_000,
@@ -214,7 +287,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="CAT[,CAT…]",
         help=f"comma-separated categories to capture (default: all except "
-        f"'sim'; known: {','.join(obs.CATEGORIES)})",
+        f"'sim' and 'progress'; known: {','.join(obs.CATEGORIES)})",
     )
     trace_parser.add_argument(
         "--jsonl",

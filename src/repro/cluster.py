@@ -48,6 +48,23 @@ class ClusterConfig:
     # broadcasts lost to partitions/loss (None = disabled).
     anti_entropy_interval_ms: Optional[float] = None
 
+    # -- uniform config API (see repro.harness.overrides) ---------------
+    def to_dict(self):
+        from repro.harness.overrides import config_to_dict
+
+        return config_to_dict(self)
+
+    @classmethod
+    def from_overrides(cls, overrides, base=None):
+        from repro.harness.overrides import config_from_overrides
+
+        return config_from_overrides(base if base is not None else cls(), overrides)
+
+    def with_overrides(self, overrides):
+        from repro.harness.overrides import config_from_overrides
+
+        return config_from_overrides(self, overrides)
+
 
 class Cluster:
     def __init__(self, config: Optional[ClusterConfig] = None) -> None:

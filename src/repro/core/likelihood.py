@@ -58,6 +58,23 @@ class LikelihoodConfig:
     # the replica); keeps the deadline model honest about total response time.
     response_overhead_ms: float = 1.0
 
+    # -- uniform config API (see repro.harness.overrides) ---------------
+    def to_dict(self):
+        from repro.harness.overrides import config_to_dict
+
+        return config_to_dict(self)
+
+    @classmethod
+    def from_overrides(cls, overrides, base=None):
+        from repro.harness.overrides import config_from_overrides
+
+        return config_from_overrides(base if base is not None else cls(), overrides)
+
+    def with_overrides(self, overrides):
+        from repro.harness.overrides import config_from_overrides
+
+        return config_from_overrides(self, overrides)
+
 
 def poisson_binomial_tail(probabilities: Sequence[float], at_least: int) -> float:
     """P(sum of independent Bernoulli(p_i) >= at_least), exact DP."""

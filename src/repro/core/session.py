@@ -53,6 +53,26 @@ class PlanetConfig:
     default_timeout_ms: Optional[float] = None
     use_empirical_model: bool = False
 
+    # -- uniform config API (see repro.harness.overrides) ---------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-encodable snapshot of every field (nested configs recursed)."""
+        from repro.harness.overrides import config_to_dict
+
+        return config_to_dict(self)
+
+    @classmethod
+    def from_overrides(cls, overrides, base: Optional["PlanetConfig"] = None) -> "PlanetConfig":
+        """Build a config from string ``key=value`` overrides (CLI ``--set``)."""
+        from repro.harness.overrides import config_from_overrides
+
+        return config_from_overrides(base if base is not None else cls(), overrides)
+
+    def with_overrides(self, overrides) -> "PlanetConfig":
+        """A copy of this config with string overrides applied."""
+        from repro.harness.overrides import config_from_overrides
+
+        return config_from_overrides(self, overrides)
+
 
 class PlanetSession:
     def __init__(

@@ -17,44 +17,65 @@ hot records from cold ones).
 
 from __future__ import annotations
 
+from typing import Any, Dict, List
+
 from repro.core.likelihood import LikelihoodConfig
 from repro.core.session import PlanetConfig
+from repro.experiments import registry
 from repro.experiments.common import ExperimentResult, ShapeCheck, microbench_run, scaled
+from repro.experiments.registry import ExperimentSpec, GridPoint, PointContext
 from repro.harness.report import Table
 
+ARM_ORDER = ("full", "no-deadline", "independent", "static", "empirical")
 
-def _arms():
+
+def _arm_config(name: str) -> PlanetConfig:
     return {
         "full": PlanetConfig(likelihood=LikelihoodConfig()),
         "no-deadline": PlanetConfig(likelihood=LikelihoodConfig(use_deadline=False)),
         "independent": PlanetConfig(likelihood=LikelihoodConfig(correlated_conflicts=False)),
         "static": PlanetConfig(likelihood=LikelihoodConfig(use_per_record_rates=False)),
         "empirical": PlanetConfig(use_empirical_model=True),
+    }[name]
+
+
+def _grid(scale: float) -> List[GridPoint]:
+    return [GridPoint(key=f"arm={name}", params={"arm": name}) for name in ARM_ORDER]
+
+
+def _run_point(params: Dict[str, Any], ctx: PointContext) -> Dict[str, Any]:
+    name = params["arm"]
+    duration = scaled(40_000.0, ctx.scale, 8_000.0)
+    run_result = microbench_run(
+        seed=ctx.seed,
+        n_keys=2_000,
+        hot_keys=24,
+        hot_fraction=0.5,
+        rate_tps=8.0,
+        clients_per_dc=2,
+        duration_ms=duration,
+        warmup_ms=duration * 0.15,
+        timeout_ms=2_000.0,
+        guess_threshold=0.95,
+        planet=_arm_config(name),
+    )
+    return {
+        "arm": name,
+        "ece": run_result.calibration(at="first_vote").expected_calibration_error(),
+        "wrong_guess_rate": run_result.wrong_guess_rate(),
+        "guessed_fraction": run_result.guessed_fraction(),
     }
 
 
-def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
-    duration = scaled(40_000.0, scale, 8_000.0)
-    rows = {}
-    for name, planet in _arms().items():
-        run_result = microbench_run(
-            seed=seed,
-            n_keys=2_000,
-            hot_keys=24,
-            hot_fraction=0.5,
-            rate_tps=8.0,
-            clients_per_dc=2,
-            duration_ms=duration,
-            warmup_ms=duration * 0.15,
-            timeout_ms=2_000.0,
-            guess_threshold=0.95,
-            planet=planet,
-        )
-        rows[name] = {
-            "ece": run_result.calibration(at="first_vote").expected_calibration_error(),
-            "wrong_guess_rate": run_result.wrong_guess_rate(),
-            "guessed_fraction": run_result.guessed_fraction(),
+def _reduce(point_rows: List[Dict[str, Any]], ctx: PointContext) -> ExperimentResult:
+    rows = {
+        row["arm"]: {
+            "ece": row["ece"],
+            "wrong_guess_rate": row["wrong_guess_rate"],
+            "guessed_fraction": row["guessed_fraction"],
         }
+        for row in point_rows
+    }
 
     result = ExperimentResult("A1", "Likelihood-model ablation")
     table = Table(
@@ -71,7 +92,7 @@ def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
     result.tables.append(table)
     result.data["rows"] = rows
 
-    if scale >= 0.75:
+    if ctx.scale >= 0.75:
         # The calibration comparison needs warmed statistics; at benchmark
         # scale only the (much larger) wrong-guess gap is a reliable signal.
         result.checks.append(
@@ -92,8 +113,26 @@ def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
     return result
 
 
+SPEC = registry.register(
+    ExperimentSpec(
+        id="a1_likelihood_ablation",
+        figure="A1",
+        title="Likelihood-model ablation",
+        module=__name__,
+        grid=_grid,
+        run_point=_run_point,
+        reduce=_reduce,
+    )
+)
+
+
+def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+    registry.warn_deprecated_entry_point(SPEC.id)
+    return SPEC.run(seed=seed, scale=scale)
+
+
 def main() -> None:
-    run().print()
+    SPEC.run().print()
 
 
 if __name__ == "__main__":

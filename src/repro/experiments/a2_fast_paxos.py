@@ -13,14 +13,26 @@ extra round trip; that interplay is exactly what this ablation surfaces.
 
 from __future__ import annotations
 
+from typing import Any, Dict, List
+
+from repro.experiments import registry
 from repro.experiments.common import ExperimentResult, ShapeCheck, microbench_run, scaled
+from repro.experiments.registry import ExperimentSpec, GridPoint, PointContext
 from repro.harness.report import Table
+from repro.stats.histogram import LatencyCdf
+
+PATHS = ("fast", "classic")
 
 
-def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
-    duration = scaled(30_000.0, scale, 6_000.0)
-    shared = dict(
-        seed=seed,
+def _grid(scale: float) -> List[GridPoint]:
+    return [GridPoint(key=f"path={path}", params={"path": path}) for path in PATHS]
+
+
+def _run_point(params: Dict[str, Any], ctx: PointContext) -> Dict[str, Any]:
+    duration = scaled(30_000.0, ctx.scale, 6_000.0)
+    run_result = microbench_run(
+        use_fast_path=params["path"] == "fast",
+        seed=ctx.seed,
         n_keys=5_000,
         rate_tps=4.0,
         clients_per_dc=2,
@@ -29,11 +41,20 @@ def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
         timeout_ms=5_000.0,
         guess_threshold=None,
     )
-    fast = microbench_run(use_fast_path=True, **shared)
-    classic = microbench_run(use_fast_path=False, **shared)
+    samples = [
+        tx.commit_latency_ms()
+        for tx in run_result.committed()
+        if tx.commit_latency_ms() is not None
+    ]
+    return {"path": params["path"], "commit_latency_samples": samples}
 
-    fast_cdf = fast.commit_latency_cdf()
-    classic_cdf = classic.commit_latency_cdf()
+
+def _reduce(rows: List[Dict[str, Any]], ctx: PointContext) -> ExperimentResult:
+    by_path = {row["path"]: row for row in rows}
+    fast_cdf = LatencyCdf()
+    fast_cdf.extend(by_path["fast"]["commit_latency_samples"])
+    classic_cdf = LatencyCdf()
+    classic_cdf.extend(by_path["classic"]["commit_latency_samples"])
 
     result = ExperimentResult("A2", "Fast vs classic Paxos acceptance path")
     table = Table(
@@ -58,8 +79,26 @@ def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
     return result
 
 
+SPEC = registry.register(
+    ExperimentSpec(
+        id="a2_fast_paxos",
+        figure="A2",
+        title="Fast vs classic Paxos acceptance path",
+        module=__name__,
+        grid=_grid,
+        run_point=_run_point,
+        reduce=_reduce,
+    )
+)
+
+
+def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+    registry.warn_deprecated_entry_point(SPEC.id)
+    return SPEC.run(seed=seed, scale=scale)
+
+
 def main() -> None:
-    run().print()
+    SPEC.run().print()
 
 
 if __name__ == "__main__":

@@ -11,11 +11,12 @@ from __future__ import annotations
 
 from repro.core.admission import AdmissionPolicy
 from repro.core.session import PlanetConfig
+from repro.experiments import registry
 from repro.experiments.common import ExperimentResult, ShapeCheck, microbench_run, scaled
 from repro.harness.report import Table
 
 
-def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+def _run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
     duration = scaled(40_000.0, scale, 8_000.0)
     shared = dict(
         seed=seed,
@@ -111,8 +112,25 @@ def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
     return result
 
 
+# The random-shedding arm's reject rate is *measured* from the likelihood
+# arm's run — a cross-arm data dependency, so A3 stays a single-point
+# legacy spec rather than a parallelisable grid.
+SPEC = registry.register_legacy(
+    experiment_id="a3_admission_policy",
+    figure="A3",
+    title="Admission policy ablation at matched shed rate",
+    module=__name__,
+    run_fn=_run,
+)
+
+
+def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+    registry.warn_deprecated_entry_point(SPEC.id)
+    return SPEC.run(seed=seed, scale=scale)
+
+
 def main() -> None:
-    run().print()
+    SPEC.run().print()
 
 
 if __name__ == "__main__":

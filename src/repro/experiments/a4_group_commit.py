@@ -14,9 +14,17 @@ both directions so a regression in either shows up.
 
 from __future__ import annotations
 
+from typing import Any, Dict, List
+
 from repro.cluster import ClusterConfig
-from repro.core.session import PlanetConfig
-from repro.experiments.common import ExperimentResult, ShapeCheck, scaled
+from repro.experiments import registry
+from repro.experiments.common import (
+    ExperimentResult,
+    ShapeCheck,
+    planet_with_overrides,
+    scaled,
+)
+from repro.experiments.registry import ExperimentSpec, GridPoint, PointContext
 from repro.harness.config import RunConfig, WorkloadConfig
 from repro.harness.report import Table
 from repro.harness.runner import run_experiment
@@ -26,7 +34,16 @@ from repro.workload.microbench import MicrobenchSpec, build_microbench_tx
 WINDOWS_MS = (0.0, 2.0, 5.0, 10.0)
 
 
-def _run_window(window_ms: float, seed: int, duration: float):
+def _grid(scale: float) -> List[GridPoint]:
+    return [
+        GridPoint(key=f"window={window}", params={"window_ms": window})
+        for window in WINDOWS_MS
+    ]
+
+
+def _run_point(params: Dict[str, Any], ctx: PointContext) -> Dict[str, Any]:
+    window_ms = params["window_ms"]
+    duration = scaled(20_000.0, ctx.scale, 6_000.0)
     spec = MicrobenchSpec(
         chooser=UniformChooser(4_000),
         n_reads=1,
@@ -35,10 +52,10 @@ def _run_window(window_ms: float, seed: int, duration: float):
     )
     config = RunConfig(
         cluster=ClusterConfig(
-            seed=seed, jitter_sigma=0.2, wal_sync_delay_ms=1.0,
+            seed=ctx.seed, jitter_sigma=0.2, wal_sync_delay_ms=1.0,
             wal_batch_window_ms=window_ms,
         ),
-        planet=PlanetConfig(),
+        planet=planet_with_overrides(None),
         workload=WorkloadConfig(
             tx_factory=lambda session, rng: build_microbench_tx(session, spec, rng),
             arrival="open",
@@ -60,10 +77,7 @@ def _run_window(window_ms: float, seed: int, duration: float):
     }
 
 
-def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
-    duration = scaled(20_000.0, scale, 6_000.0)
-    rows = [_run_window(window, seed, duration) for window in WINDOWS_MS]
-
+def _reduce(rows: List[Dict[str, Any]], ctx: PointContext) -> ExperimentResult:
     result = ExperimentResult("A4", "WAL group commit: syncs saved vs latency added")
     table = Table(
         "Batch-window sweep (sync cost 1 ms per flush)",
@@ -96,8 +110,26 @@ def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
     return result
 
 
+SPEC = registry.register(
+    ExperimentSpec(
+        id="a4_group_commit",
+        figure="A4",
+        title="WAL group commit: syncs saved vs latency added",
+        module=__name__,
+        grid=_grid,
+        run_point=_run_point,
+        reduce=_reduce,
+    )
+)
+
+
+def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+    registry.warn_deprecated_entry_point(SPEC.id)
+    return SPEC.run(seed=seed, scale=scale)
+
+
 def main() -> None:
-    run().print()
+    SPEC.run().print()
 
 
 if __name__ == "__main__":

@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterator, List, Mapping, Optional
 
 from repro.cluster import ClusterConfig
 from repro.core.session import PlanetConfig
@@ -62,6 +64,7 @@ class ExperimentResult:
                 {"title": t.title, "headers": t.headers, "rows": t.rows}
                 for t in self.tables
             ],
+            "figures": list(self.figures),
             "checks": [
                 {"name": c.name, "passed": c.passed, "detail": c.detail}
                 for c in self.checks
@@ -69,6 +72,30 @@ class ExperimentResult:
             "all_checks_pass": self.all_checks_pass,
             "data": _json_safe(self.data),
         }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ExperimentResult":
+        """Inverse of :meth:`to_dict` (modulo ``data`` JSON coercion).
+
+        This is how cached / worker-produced results of pre-registry drivers
+        are rehydrated by the sweep executor.
+        """
+        result = cls(
+            experiment_id=payload["experiment_id"],  # type: ignore[arg-type]
+            title=payload["title"],  # type: ignore[arg-type]
+        )
+        for table_dict in payload.get("tables", []):  # type: ignore[union-attr]
+            table = Table(table_dict["title"], table_dict["headers"])
+            # Rows were already formatted to strings by Table.add_row.
+            table.rows = [list(row) for row in table_dict["rows"]]
+            result.tables.append(table)
+        result.figures = [str(figure) for figure in payload.get("figures", [])]
+        result.checks = [
+            ShapeCheck(c["name"], c["passed"], c["detail"])
+            for c in payload.get("checks", [])  # type: ignore[union-attr]
+        ]
+        result.data = dict(payload.get("data", {}))  # type: ignore[arg-type]
+        return result
 
     def print(self) -> None:
         banner = f"{self.experiment_id}: {self.title}"
@@ -83,6 +110,40 @@ class ExperimentResult:
         for check in self.checks:
             print(check)
         print()
+
+
+# ----------------------------------------------------------------------
+# Config overrides (CLI --set key=value), threaded to every driver.
+# ----------------------------------------------------------------------
+# The sweep executor activates the run's overrides around each point, so
+# every driver — converted or legacy — picks them up wherever it builds its
+# PlanetConfig, with one validation/error path (repro.harness.overrides).
+_ACTIVE_OVERRIDES: ContextVar[Optional[Mapping[str, str]]] = ContextVar(
+    "repro_active_overrides", default=None
+)
+
+
+@contextmanager
+def active_overrides(overrides: Optional[Mapping[str, str]]) -> Iterator[None]:
+    """Make ``overrides`` visible to :func:`planet_with_overrides` inside."""
+    token = _ACTIVE_OVERRIDES.set(overrides if overrides else None)
+    try:
+        yield
+    finally:
+        _ACTIVE_OVERRIDES.reset(token)
+
+
+def current_overrides() -> Optional[Mapping[str, str]]:
+    return _ACTIVE_OVERRIDES.get()
+
+
+def planet_with_overrides(planet: Optional[PlanetConfig]) -> PlanetConfig:
+    """The driver's PlanetConfig with any active ``--set`` overrides applied."""
+    planet = planet if planet is not None else PlanetConfig()
+    overrides = _ACTIVE_OVERRIDES.get()
+    if overrides:
+        planet = planet.with_overrides(overrides)
+    return planet
 
 
 def microbench_run(
@@ -119,7 +180,7 @@ def microbench_run(
     )
     config = RunConfig(
         cluster=ClusterConfig(seed=seed, engine=engine, use_fast_path=use_fast_path),
-        planet=planet if planet is not None else PlanetConfig(),
+        planet=planet_with_overrides(planet),
         workload=WorkloadConfig(
             tx_factory=lambda session, rng: build_microbench_tx(session, spec, rng),
             arrival="open",

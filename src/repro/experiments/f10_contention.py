@@ -8,14 +8,21 @@ admission control a doomed transaction discovers its fate only after
 wide-area round trips; with likelihood-based admission the same transaction
 is rejected locally in microseconds.  We measure the mean latency an aborted
 transaction wastes before learning its fate, with and without admission.
+
+Both arms of a hot-set point run inside one grid point so they share a
+derived seed — the comparison stays paired under the parallel executor.
 """
 
 from __future__ import annotations
 
+from typing import Any, Dict, List
+
 from repro.core.admission import AdmissionPolicy
 from repro.core.session import PlanetConfig
 from repro.core.stages import TxStage
+from repro.experiments import registry
 from repro.experiments.common import ExperimentResult, ShapeCheck, microbench_run, scaled
+from repro.experiments.registry import ExperimentSpec, GridPoint, PointContext
 from repro.harness.report import Table
 
 HOT_SET_SIZES = (1024, 256, 64, 16, 8)
@@ -36,41 +43,47 @@ def _mean_abort_cost_ms(run_result) -> float:
     return sum(costs) / len(costs) if costs else float("nan")
 
 
-def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
-    duration = scaled(40_000.0, scale, 8_000.0)
-    rows = []
-    for hot_keys in HOT_SET_SIZES:
-        shared = dict(
-            seed=seed,
-            n_keys=4_096,
-            hot_keys=hot_keys,
-            hot_fraction=0.8,
-            rate_tps=8.0,
-            clients_per_dc=2,
-            duration_ms=duration,
-            warmup_ms=duration * 0.15,
-            timeout_ms=2_000.0,
-            guess_threshold=None,
-        )
-        plain = microbench_run(**shared)
-        admitted = microbench_run(
-            planet=PlanetConfig(
-                admission_policy=AdmissionPolicy.LIKELIHOOD, admission_threshold=0.4
-            ),
-            **shared,
-        )
-        rows.append(
-            {
-                "hot_keys": hot_keys,
-                "abort_rate": plain.abort_rate(),
-                "abort_rate_admission": admitted.abort_rate(),
-                "abort_cost_ms": _mean_abort_cost_ms(plain),
-                "abort_cost_admission_ms": _mean_abort_cost_ms(admitted),
-                "goodput": plain.goodput_tps(),
-                "goodput_admission": admitted.goodput_tps(),
-            }
-        )
+def _grid(scale: float) -> List[GridPoint]:
+    return [
+        GridPoint(key=f"hot_keys={hot_keys}", params={"hot_keys": hot_keys})
+        for hot_keys in HOT_SET_SIZES
+    ]
 
+
+def _run_point(params: Dict[str, Any], ctx: PointContext) -> Dict[str, Any]:
+    hot_keys = params["hot_keys"]
+    duration = scaled(40_000.0, ctx.scale, 8_000.0)
+    shared = dict(
+        seed=ctx.seed,
+        n_keys=4_096,
+        hot_keys=hot_keys,
+        hot_fraction=0.8,
+        rate_tps=8.0,
+        clients_per_dc=2,
+        duration_ms=duration,
+        warmup_ms=duration * 0.15,
+        timeout_ms=2_000.0,
+        guess_threshold=None,
+    )
+    plain = microbench_run(**shared)
+    admitted = microbench_run(
+        planet=PlanetConfig(
+            admission_policy=AdmissionPolicy.LIKELIHOOD, admission_threshold=0.4
+        ),
+        **shared,
+    )
+    return {
+        "hot_keys": hot_keys,
+        "abort_rate": plain.abort_rate(),
+        "abort_rate_admission": admitted.abort_rate(),
+        "abort_cost_ms": _mean_abort_cost_ms(plain),
+        "abort_cost_admission_ms": _mean_abort_cost_ms(admitted),
+        "goodput": plain.goodput_tps(),
+        "goodput_admission": admitted.goodput_tps(),
+    }
+
+
+def _reduce(rows: List[Dict[str, Any]], ctx: PointContext) -> ExperimentResult:
     result = ExperimentResult("F10", "Abort rate and abort cost vs contention (hot-set size)")
     table = Table(
         "Hot-set sweep (80% of writes on the hot set)",
@@ -113,8 +126,26 @@ def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
     return result
 
 
+SPEC = registry.register(
+    ExperimentSpec(
+        id="f10_contention",
+        figure="F10",
+        title="Abort rate and abort cost vs contention (hot-set size)",
+        module=__name__,
+        grid=_grid,
+        run_point=_run_point,
+        reduce=_reduce,
+    )
+)
+
+
+def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+    registry.warn_deprecated_entry_point(SPEC.id)
+    return SPEC.run(seed=seed, scale=scale)
+
+
 def main() -> None:
-    run().print()
+    SPEC.run().print()
 
 
 if __name__ == "__main__":

@@ -7,53 +7,66 @@ Rejecting low-likelihood transactions up front frees those records for
 transactions that can actually commit, so *goodput* (commits/s) rises even
 though fewer transactions are attempted.  At low offered load the controller
 should be inert: nothing is doomed, nothing is shed.
+
+Both arms of an offered-load point run inside one grid point so they share
+a derived seed — the comparison stays paired under the parallel executor.
 """
 
 from __future__ import annotations
 
+from typing import Any, Dict, List
+
 from repro.core.admission import AdmissionPolicy
 from repro.core.session import PlanetConfig
+from repro.experiments import registry
 from repro.experiments.common import ExperimentResult, ShapeCheck, microbench_run, scaled
+from repro.experiments.registry import ExperimentSpec, GridPoint, PointContext
 from repro.harness.report import Table
 
 OFFERED_LOADS_TPS = (0.5, 2.0, 8.0, 16.0, 32.0)
 
 
-def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
-    duration = scaled(40_000.0, scale, 8_000.0)
-    rows = []
-    for rate in OFFERED_LOADS_TPS:
-        shared = dict(
-            seed=seed,
-            n_keys=4_096,
-            hot_keys=16,
-            hot_fraction=0.8,
-            rate_tps=rate,
-            clients_per_dc=2,
-            duration_ms=duration,
-            warmup_ms=duration * 0.15,
-            timeout_ms=2_000.0,
-            guess_threshold=None,
-        )
-        plain = microbench_run(**shared)
-        admitted = microbench_run(
-            planet=PlanetConfig(
-                admission_policy=AdmissionPolicy.LIKELIHOOD, admission_threshold=0.4
-            ),
-            **shared,
-        )
-        rows.append(
-            {
-                "offered_tps": rate * 2 * 5,  # clients_per_dc * DCs
-                "goodput_none": plain.goodput_tps(),
-                "goodput_admission": admitted.goodput_tps(),
-                "abort_none": plain.abort_rate(),
-                "abort_admission": admitted.abort_rate(),
-                "shed_fraction": admitted.abort_reason_counts().get("admission", 0)
-                / max(len(admitted.transactions), 1),
-            }
-        )
+def _grid(scale: float) -> List[GridPoint]:
+    return [
+        GridPoint(key=f"rate={rate}", params={"rate": rate})
+        for rate in OFFERED_LOADS_TPS
+    ]
 
+
+def _run_point(params: Dict[str, Any], ctx: PointContext) -> Dict[str, Any]:
+    rate = params["rate"]
+    duration = scaled(40_000.0, ctx.scale, 8_000.0)
+    shared = dict(
+        seed=ctx.seed,
+        n_keys=4_096,
+        hot_keys=16,
+        hot_fraction=0.8,
+        rate_tps=rate,
+        clients_per_dc=2,
+        duration_ms=duration,
+        warmup_ms=duration * 0.15,
+        timeout_ms=2_000.0,
+        guess_threshold=None,
+    )
+    plain = microbench_run(**shared)
+    admitted = microbench_run(
+        planet=PlanetConfig(
+            admission_policy=AdmissionPolicy.LIKELIHOOD, admission_threshold=0.4
+        ),
+        **shared,
+    )
+    return {
+        "offered_tps": rate * 2 * 5,  # clients_per_dc * DCs
+        "goodput_none": plain.goodput_tps(),
+        "goodput_admission": admitted.goodput_tps(),
+        "abort_none": plain.abort_rate(),
+        "abort_admission": admitted.abort_rate(),
+        "shed_fraction": admitted.abort_reason_counts().get("admission", 0)
+        / max(len(admitted.transactions), 1),
+    }
+
+
+def _reduce(rows: List[Dict[str, Any]], ctx: PointContext) -> ExperimentResult:
     result = ExperimentResult("F11", "Goodput vs offered load (likelihood admission control)")
     table = Table(
         "Offered-load sweep, 16 hot records (80% of writes)",
@@ -101,8 +114,26 @@ def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
     return result
 
 
+SPEC = registry.register(
+    ExperimentSpec(
+        id="f11_admission",
+        figure="F11",
+        title="Goodput vs offered load (likelihood admission control)",
+        module=__name__,
+        grid=_grid,
+        run_point=_run_point,
+        reduce=_reduce,
+    )
+)
+
+
+def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+    registry.warn_deprecated_entry_point(SPEC.id)
+    return SPEC.run(seed=seed, scale=scale)
+
+
 def main() -> None:
-    run().print()
+    SPEC.run().print()
 
 
 if __name__ == "__main__":

@@ -14,6 +14,7 @@ p99 of (a) blocking final-commit latency vs (b) the PLANET response latency
 
 from __future__ import annotations
 
+from repro.experiments import registry
 from repro.experiments.common import ExperimentResult, ShapeCheck, microbench_run, scaled
 from repro.harness.report import Table
 from repro.stats.histogram import LatencyCdf
@@ -50,7 +51,7 @@ def _cdfs(transactions):
     return commit, response
 
 
-def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+def _run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
     duration = scaled(60_000.0, scale, 12_000.0)
     warmup = duration * 0.1
     spikes = periodic_spikes(
@@ -119,8 +120,22 @@ def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
     return result
 
 
+SPEC = registry.register_legacy(
+    experiment_id="f12_spikes",
+    figure="F12",
+    title="Latency under injected wide-area spikes (4x)",
+    module=__name__,
+    run_fn=_run,
+)
+
+
+def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+    registry.warn_deprecated_entry_point(SPEC.id)
+    return SPEC.run(seed=seed, scale=scale)
+
+
 def main() -> None:
-    run().print()
+    SPEC.run().print()
 
 
 if __name__ == "__main__":

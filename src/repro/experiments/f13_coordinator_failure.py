@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from repro.cluster import Cluster, ClusterConfig
 from repro.core.session import PlanetSession
+from repro.experiments import registry
 from repro.experiments.common import ExperimentResult, ShapeCheck, scaled
 from repro.harness.report import Table
 from repro.workload.keys import UniformChooser
@@ -88,7 +89,7 @@ def _run_arm(seed: int, duration: float, crash_at: float, option_ttl_ms):
     }
 
 
-def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+def _run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
     duration = scaled(30_000.0, scale, 8_000.0)
     crash_at = duration * 0.3
     without = _run_arm(seed, duration, crash_at, option_ttl_ms=None)
@@ -148,8 +149,22 @@ def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
     return result
 
 
+SPEC = registry.register_legacy(
+    experiment_id="f13_coordinator_failure",
+    figure="F13",
+    title="Coordinator crash: orphaned options vs the recovery protocol",
+    module=__name__,
+    run_fn=_run,
+)
+
+
+def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+    registry.warn_deprecated_entry_point(SPEC.id)
+    return SPEC.run(seed=seed, scale=scale)
+
+
 def main() -> None:
-    run().print()
+    SPEC.run().print()
 
 
 if __name__ == "__main__":

@@ -9,29 +9,55 @@ baseline's latency distribution sits well to the right of PLANET's.
 
 from __future__ import annotations
 
+from typing import Any, Dict, List
+
+from repro.experiments import registry
 from repro.experiments.common import ExperimentResult, ShapeCheck, microbench_run, scaled
+from repro.experiments.registry import ExperimentSpec, GridPoint, PointContext
 from repro.harness.ascii_plot import render_cdfs
 from repro.harness.report import Table
+from repro.stats.histogram import LatencyCdf
+
+ENGINES = ("mdcc", "twopc")
 
 
-def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
-    duration = scaled(30_000.0, scale, 6_000.0)
-    warmup = duration * 0.1
-    shared = dict(
-        seed=seed,
+def _grid(scale: float) -> List[GridPoint]:
+    return [GridPoint(key=f"engine={engine}", params={"engine": engine}) for engine in ENGINES]
+
+
+def _run_point(params: Dict[str, Any], ctx: PointContext) -> Dict[str, Any]:
+    duration = scaled(30_000.0, ctx.scale, 6_000.0)
+    run_result = microbench_run(
+        engine=params["engine"],
+        seed=ctx.seed,
         n_keys=5_000,            # low contention: this figure is about latency
         rate_tps=4.0,
         clients_per_dc=2,
         duration_ms=duration,
-        warmup_ms=warmup,
+        warmup_ms=duration * 0.1,
         timeout_ms=5_000.0,
         guess_threshold=None,    # pure commit latency, no speculation
     )
-    mdcc = microbench_run(engine="mdcc", **shared)
-    twopc = microbench_run(engine="twopc", **shared)
+    samples = [
+        tx.commit_latency_ms()
+        for tx in run_result.committed()
+        if tx.commit_latency_ms() is not None
+    ]
+    topology = run_result.cluster.topology
+    return {
+        "engine": params["engine"],
+        "commit_latency_samples": samples,
+        "committed": len(run_result.committed()),
+        "quorum_floors_ms": [topology.quorum_rtt_ms(dc, 4) for dc in topology],
+    }
 
-    mdcc_cdf = mdcc.commit_latency_cdf()
-    twopc_cdf = twopc.commit_latency_cdf()
+
+def _reduce(rows: List[Dict[str, Any]], ctx: PointContext) -> ExperimentResult:
+    by_engine = {row["engine"]: row for row in rows}
+    mdcc_cdf = LatencyCdf()
+    mdcc_cdf.extend(by_engine["mdcc"]["commit_latency_samples"])
+    twopc_cdf = LatencyCdf()
+    twopc_cdf.extend(by_engine["twopc"]["commit_latency_samples"])
 
     result = ExperimentResult("F6", "Transaction commit latency CDF (MDCC/PLANET vs 2PC)")
     table = Table(
@@ -53,16 +79,15 @@ def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
             "mdcc_p50": mdcc_cdf.percentile(50),
             "twopc_p50": twopc_cdf.percentile(50),
             "p50_ratio": p50_ratio,
-            "mdcc_committed": len(mdcc.committed()),
-            "twopc_committed": len(twopc.committed()),
+            "mdcc_committed": by_engine["mdcc"]["committed"],
+            "twopc_committed": by_engine["twopc"]["committed"],
         }
     )
 
     # Shape: PLANET commit ~= 1 wide-area quorum RTT; worst coordinator
     # (ireland) has a 265 ms floor, best (us_west) 155 ms — the mixed-DC p50
     # should sit in that band, and 2PC should be >= 1.4x slower at p50.
-    topology = mdcc.cluster.topology
-    floors = [topology.quorum_rtt_ms(dc, 4) for dc in topology]
+    floors = by_engine["mdcc"]["quorum_floors_ms"]
     low, high = min(floors) * 0.8, max(floors) * 1.6
     mdcc_p50 = mdcc_cdf.percentile(50)
     result.checks.append(
@@ -82,8 +107,26 @@ def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
     return result
 
 
+SPEC = registry.register(
+    ExperimentSpec(
+        id="f6_commit_latency",
+        figure="F6",
+        title="Transaction commit latency CDF (MDCC/PLANET vs 2PC)",
+        module=__name__,
+        grid=_grid,
+        run_point=_run_point,
+        reduce=_reduce,
+    )
+)
+
+
+def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+    registry.warn_deprecated_entry_point(SPEC.id)
+    return SPEC.run(seed=seed, scale=scale)
+
+
 def main() -> None:
-    run().print()
+    SPEC.run().print()
 
 
 if __name__ == "__main__":

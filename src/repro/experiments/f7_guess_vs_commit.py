@@ -10,12 +10,13 @@ is the latency the callbacks buy.
 
 from __future__ import annotations
 
+from repro.experiments import registry
 from repro.experiments.common import ExperimentResult, ShapeCheck, microbench_run, scaled
 from repro.harness.ascii_plot import render_cdfs
 from repro.harness.report import Table
 
 
-def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+def _run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
     duration = scaled(30_000.0, scale, 6_000.0)
     run_result = microbench_run(
         seed=seed,
@@ -90,8 +91,22 @@ def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
     return result
 
 
+SPEC = registry.register_legacy(
+    experiment_id="f7_guess_vs_commit",
+    figure="F7",
+    title="Time-to-guess vs time-to-final-commit CDF",
+    module=__name__,
+    run_fn=_run,
+)
+
+
+def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+    registry.warn_deprecated_entry_point(SPEC.id)
+    return SPEC.run(seed=seed, scale=scale)
+
+
 def main() -> None:
-    run().print()
+    SPEC.run().print()
 
 
 if __name__ == "__main__":

@@ -11,40 +11,49 @@ monotonically-ish as the threshold rises, while median time-to-guess rises.
 from __future__ import annotations
 
 import math
+from typing import Any, Dict, List
 
+from repro.experiments import registry
 from repro.experiments.common import ExperimentResult, ShapeCheck, microbench_run, scaled
+from repro.experiments.registry import ExperimentSpec, GridPoint, PointContext
 from repro.harness.report import Table
 
 THRESHOLDS = (0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99)
 
 
-def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
-    duration = scaled(40_000.0, scale, 8_000.0)
-    rows = []
-    for threshold in THRESHOLDS:
-        run_result = microbench_run(
-            seed=seed,
-            n_keys=2_000,
-            hot_keys=32,
-            hot_fraction=0.4,   # medium contention: guesses carry real risk
-            rate_tps=8.0,
-            clients_per_dc=2,
-            duration_ms=duration,
-            warmup_ms=duration * 0.15,
-            timeout_ms=2_000.0,
-            guess_threshold=threshold,
-        )
-        rows.append(
-            {
-                "threshold": threshold,
-                "guessed_fraction": run_result.guessed_fraction(),
-                "wrong_guess_rate": run_result.wrong_guess_rate(),
-                "guess_p50_ms": run_result.guess_latency_cdf().percentile(50),
-                "time_saved_ms": run_result.mean_time_saved_by_guessing_ms(),
-                "abort_rate": run_result.abort_rate(),
-            }
-        )
+def _grid(scale: float) -> List[GridPoint]:
+    return [
+        GridPoint(key=f"threshold={threshold}", params={"threshold": threshold})
+        for threshold in THRESHOLDS
+    ]
 
+
+def _run_point(params: Dict[str, Any], ctx: PointContext) -> Dict[str, Any]:
+    threshold = params["threshold"]
+    duration = scaled(40_000.0, ctx.scale, 8_000.0)
+    run_result = microbench_run(
+        seed=ctx.seed,
+        n_keys=2_000,
+        hot_keys=32,
+        hot_fraction=0.4,   # medium contention: guesses carry real risk
+        rate_tps=8.0,
+        clients_per_dc=2,
+        duration_ms=duration,
+        warmup_ms=duration * 0.15,
+        timeout_ms=2_000.0,
+        guess_threshold=threshold,
+    )
+    return {
+        "threshold": threshold,
+        "guessed_fraction": run_result.guessed_fraction(),
+        "wrong_guess_rate": run_result.wrong_guess_rate(),
+        "guess_p50_ms": run_result.guess_latency_cdf().percentile(50),
+        "time_saved_ms": run_result.mean_time_saved_by_guessing_ms(),
+        "abort_rate": run_result.abort_rate(),
+    }
+
+
+def _reduce(rows: List[Dict[str, Any]], ctx: PointContext) -> ExperimentResult:
     result = ExperimentResult("F9", "Speculation accuracy vs guess threshold")
     table = Table(
         "Guess-threshold sweep (medium contention)",
@@ -86,7 +95,7 @@ def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
     )
     # Cold statistics in short benchmark-scale runs push early guesses
     # above the asymptotic bound; widen the factor accordingly.
-    factor = 1.5 if scale >= 0.75 else 2.2
+    factor = 1.5 if ctx.scale >= 0.75 else 2.2
     bounded = all(
         math.isnan(row["wrong_guess_rate"])
         or row["wrong_guess_rate"] <= (1.0 - row["threshold"]) * factor + 0.05
@@ -104,8 +113,26 @@ def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
     return result
 
 
+SPEC = registry.register(
+    ExperimentSpec(
+        id="f9_threshold_sweep",
+        figure="F9",
+        title="Speculation accuracy vs guess threshold",
+        module=__name__,
+        grid=_grid,
+        run_point=_run_point,
+        reduce=_reduce,
+    )
+)
+
+
+def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+    registry.warn_deprecated_entry_point(SPEC.id)
+    return SPEC.run(seed=seed, scale=scale)
+
+
 def main() -> None:
-    run().print()
+    SPEC.run().print()
 
 
 if __name__ == "__main__":

@@ -10,9 +10,13 @@ the bigger the guess's win.
 
 from __future__ import annotations
 
+from typing import Any, Dict, List
+
 from repro.cluster import Cluster, ClusterConfig
 from repro.core.session import PlanetSession
+from repro.experiments import registry
 from repro.experiments.common import ExperimentResult, ShapeCheck, scaled
+from repro.experiments.registry import ExperimentSpec, GridPoint, PointContext
 from repro.harness.report import Table
 from repro.net.topology import make_synthetic_topology
 from repro.paxos.ballot import fast_quorum
@@ -23,7 +27,14 @@ from repro.workload.microbench import MicrobenchSpec, build_microbench_tx
 DC_COUNTS = (3, 5, 7, 9)
 
 
-def _run_size(n_dcs: int, seed: int, duration: float):
+def _grid(scale: float) -> List[GridPoint]:
+    return [GridPoint(key=f"dcs={n}", params={"n_dcs": n}) for n in DC_COUNTS]
+
+
+def _run_point(params: Dict[str, Any], ctx: PointContext) -> Dict[str, Any]:
+    n_dcs = params["n_dcs"]
+    seed = ctx.seed
+    duration = scaled(20_000.0, ctx.scale, 6_000.0)
     topology = make_synthetic_topology(n_dcs, seed=seed)
     cluster = Cluster(ClusterConfig(topology=topology, seed=seed, jitter_sigma=0.2))
     spec = MicrobenchSpec(
@@ -57,10 +68,7 @@ def _run_size(n_dcs: int, seed: int, duration: float):
     }
 
 
-def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
-    duration = scaled(20_000.0, scale, 6_000.0)
-    rows = [_run_size(n, seed, duration) for n in DC_COUNTS]
-
+def _reduce(rows: List[Dict[str, Any]], ctx: PointContext) -> ExperimentResult:
     result = ExperimentResult("S1", "Commit latency vs number of data centers")
     table = Table(
         "Scale-out sweep (synthetic topologies, coordinator at dc0)",
@@ -106,8 +114,26 @@ def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
     return result
 
 
+SPEC = registry.register(
+    ExperimentSpec(
+        id="s1_scaleout",
+        figure="S1",
+        title="Commit latency vs number of data centers",
+        module=__name__,
+        grid=_grid,
+        run_point=_run_point,
+        reduce=_reduce,
+    )
+)
+
+
+def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+    registry.warn_deprecated_entry_point(SPEC.id)
+    return SPEC.run(seed=seed, scale=scale)
+
+
 def main() -> None:
-    run().print()
+    SPEC.run().print()
 
 
 if __name__ == "__main__":

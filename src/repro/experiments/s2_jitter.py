@@ -10,11 +10,19 @@ to response-time distributions.
 
 from __future__ import annotations
 
-from repro.experiments.common import ExperimentResult, ShapeCheck, microbench_run, scaled
-from repro.harness.report import Table
+from typing import Any, Dict, List
+
 from repro.cluster import ClusterConfig
-from repro.core.session import PlanetConfig
+from repro.experiments import registry
+from repro.experiments.common import (
+    ExperimentResult,
+    ShapeCheck,
+    planet_with_overrides,
+    scaled,
+)
+from repro.experiments.registry import ExperimentSpec, GridPoint, PointContext
 from repro.harness.config import RunConfig, WorkloadConfig
+from repro.harness.report import Table
 from repro.harness.runner import run_experiment
 from repro.workload.keys import HotspotChooser
 from repro.workload.microbench import MicrobenchSpec, build_microbench_tx
@@ -22,7 +30,13 @@ from repro.workload.microbench import MicrobenchSpec, build_microbench_tx
 SIGMAS = (0.0, 0.1, 0.2, 0.4)
 
 
-def _run_sigma(sigma: float, seed: int, duration: float):
+def _grid(scale: float) -> List[GridPoint]:
+    return [GridPoint(key=f"sigma={sigma}", params={"sigma": sigma}) for sigma in SIGMAS]
+
+
+def _run_point(params: Dict[str, Any], ctx: PointContext) -> Dict[str, Any]:
+    sigma = params["sigma"]
+    duration = scaled(30_000.0, ctx.scale, 8_000.0)
     spec = MicrobenchSpec(
         chooser=HotspotChooser(2_000, hot_keys=32, hot_fraction=0.4),
         n_reads=2,
@@ -31,8 +45,8 @@ def _run_sigma(sigma: float, seed: int, duration: float):
         guess_threshold=0.95,
     )
     config = RunConfig(
-        cluster=ClusterConfig(seed=seed, jitter_sigma=sigma),
-        planet=PlanetConfig(),
+        cluster=ClusterConfig(seed=ctx.seed, jitter_sigma=sigma),
+        planet=planet_with_overrides(None),
         workload=WorkloadConfig(
             tx_factory=lambda session, rng: build_microbench_tx(session, spec, rng),
             arrival="open",
@@ -54,10 +68,7 @@ def _run_sigma(sigma: float, seed: int, duration: float):
     }
 
 
-def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
-    duration = scaled(30_000.0, scale, 8_000.0)
-    rows = [_run_sigma(sigma, seed, duration) for sigma in SIGMAS]
-
+def _reduce(rows: List[Dict[str, Any]], ctx: PointContext) -> ExperimentResult:
     result = ExperimentResult("S2", "Sensitivity to wide-area latency variance")
     table = Table(
         "Jitter sweep (lognormal sigma)",
@@ -79,7 +90,7 @@ def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
             f"{rows[-1]['p99']:.0f} ms @ sigma {rows[-1]['sigma']}",
         )
     )
-    if scale >= 0.75:
+    if ctx.scale >= 0.75:
         # The p99/p50 ratio needs long runs for a stable p99; check the
         # relative tail stretch only at full scale.
         result.checks.append(
@@ -100,8 +111,26 @@ def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
     return result
 
 
+SPEC = registry.register(
+    ExperimentSpec(
+        id="s2_jitter",
+        figure="S2",
+        title="Sensitivity to wide-area latency variance",
+        module=__name__,
+        grid=_grid,
+        run_point=_run_point,
+        reduce=_reduce,
+    )
+)
+
+
+def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+    registry.warn_deprecated_entry_point(SPEC.id)
+    return SPEC.run(seed=seed, scale=scale)
+
+
 def main() -> None:
-    run().print()
+    SPEC.run().print()
 
 
 if __name__ == "__main__":

@@ -16,9 +16,13 @@ probability and verifies the stack's resilience story end-to-end:
 
 from __future__ import annotations
 
+from typing import Any, Dict, List
+
 from repro.cluster import Cluster, ClusterConfig
 from repro.core.session import PlanetSession
+from repro.experiments import registry
 from repro.experiments.common import ExperimentResult, ShapeCheck, scaled
+from repro.experiments.registry import ExperimentSpec, GridPoint, PointContext
 from repro.harness.report import Table
 from repro.workload.clients import OpenLoopClient
 from repro.workload.keys import UniformChooser
@@ -27,10 +31,16 @@ from repro.workload.microbench import MicrobenchSpec, build_microbench_tx
 LOSS_RATES = (0.0, 0.005, 0.02, 0.05)
 
 
-def _run_loss(loss: float, seed: int, duration: float):
+def _grid(scale: float) -> List[GridPoint]:
+    return [GridPoint(key=f"loss={loss}", params={"loss": loss}) for loss in LOSS_RATES]
+
+
+def _run_point(params: Dict[str, Any], ctx: PointContext) -> Dict[str, Any]:
+    loss = params["loss"]
+    duration = scaled(20_000.0, ctx.scale, 6_000.0)
     cluster = Cluster(
         ClusterConfig(
-            seed=seed,
+            seed=ctx.seed,
             jitter_sigma=0.2,
             loss_probability=loss,
             option_ttl_ms=1_500.0,
@@ -80,10 +90,7 @@ def _run_loss(loss: float, seed: int, duration: float):
     }
 
 
-def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
-    duration = scaled(20_000.0, scale, 6_000.0)
-    rows = [_run_loss(loss, seed, duration) for loss in LOSS_RATES]
-
+def _reduce(rows: List[Dict[str, Any]], ctx: PointContext) -> ExperimentResult:
     result = ExperimentResult("S3", "Sensitivity to message loss (with orphan recovery)")
     table = Table(
         "Uniform loss sweep, 1.5 s deadlines, recovery armed",
@@ -132,8 +139,26 @@ def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
     return result
 
 
+SPEC = registry.register(
+    ExperimentSpec(
+        id="s3_message_loss",
+        figure="S3",
+        title="Sensitivity to message loss (with orphan recovery)",
+        module=__name__,
+        grid=_grid,
+        run_point=_run_point,
+        reduce=_reduce,
+    )
+)
+
+
+def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+    registry.warn_deprecated_entry_point(SPEC.id)
+    return SPEC.run(seed=seed, scale=scale)
+
+
 def main() -> None:
-    run().print()
+    SPEC.run().print()
 
 
 if __name__ == "__main__":

@@ -9,6 +9,7 @@ tolerance — the precondition for every latency figure that follows.
 
 from __future__ import annotations
 
+from repro.experiments import registry
 from repro.experiments.common import ExperimentResult, ShapeCheck
 from repro.harness.report import Table
 from repro.net.latency import LatencyModel
@@ -17,7 +18,7 @@ from repro.sim.rng import RngRegistry
 from repro.stats.quantiles import QuantileSketch
 
 
-def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+def _run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
     topology = EC2_FIVE_DC
     latency = LatencyModel(topology, jitter_sigma=0.2)
     rng = RngRegistry(seed).stream("t1")
@@ -68,8 +69,22 @@ def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
     return result
 
 
+SPEC = registry.register_legacy(
+    experiment_id="t1_rtt_matrix",
+    figure="T1",
+    title="Inter-data-center RTT matrix (measured vs configured)",
+    module=__name__,
+    run_fn=_run,
+)
+
+
+def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+    registry.warn_deprecated_entry_point(SPEC.id)
+    return SPEC.run(seed=seed, scale=scale)
+
+
 def main() -> None:
-    run().print()
+    SPEC.run().print()
 
 
 if __name__ == "__main__":

@@ -11,8 +11,14 @@ best-sellers, while delta options commute and almost never abort.
 from __future__ import annotations
 
 from repro.cluster import ClusterConfig
-from repro.core.session import PlanetConfig
-from repro.experiments.common import ExperimentResult, ShapeCheck, microbench_run, scaled
+from repro.experiments import registry
+from repro.experiments.common import (
+    ExperimentResult,
+    ShapeCheck,
+    microbench_run,
+    planet_with_overrides,
+    scaled,
+)
 from repro.harness.config import RunConfig, WorkloadConfig
 from repro.harness.report import Table
 from repro.harness.runner import run_experiment
@@ -31,7 +37,7 @@ def _tpcw_run(seed: int, duration: float, engine: str, exclusive_stock: bool):
     )
     config = RunConfig(
         cluster=ClusterConfig(seed=seed, engine=engine),
-        planet=PlanetConfig(),
+        planet=planet_with_overrides(None),
         workload=WorkloadConfig(
             tx_factory=lambda session, rng: build_checkout_tx(session, spec, rng),
             arrival="open",
@@ -45,7 +51,7 @@ def _tpcw_run(seed: int, duration: float, engine: str, exclusive_stock: bool):
     return run_experiment(config)
 
 
-def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+def _run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
     duration = scaled(30_000.0, scale, 6_000.0)
     runs = {}
     micro_shared = dict(
@@ -116,8 +122,22 @@ def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
     return result
 
 
+SPEC = registry.register_legacy(
+    experiment_id="t2_summary",
+    figure="T2",
+    title="Workload summary (microbench + TPC-W-like checkout)",
+    module=__name__,
+    run_fn=_run,
+)
+
+
+def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+    registry.warn_deprecated_entry_point(SPEC.id)
+    return SPEC.run(seed=seed, scale=scale)
+
+
 def main() -> None:
-    run().print()
+    SPEC.run().print()
 
 
 if __name__ == "__main__":

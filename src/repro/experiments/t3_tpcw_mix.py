@@ -13,8 +13,13 @@ outcome quality per transaction type.  The shape claims:
 from __future__ import annotations
 
 from repro.cluster import ClusterConfig
-from repro.core.session import PlanetConfig
-from repro.experiments.common import ExperimentResult, ShapeCheck, scaled
+from repro.experiments import registry
+from repro.experiments.common import (
+    ExperimentResult,
+    ShapeCheck,
+    planet_with_overrides,
+    scaled,
+)
 from repro.harness.config import RunConfig, WorkloadConfig
 from repro.harness.report import Table
 from repro.harness.runner import run_experiment
@@ -32,7 +37,7 @@ def _classify(tx) -> str:
     return "checkout"
 
 
-def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+def _run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
     duration = scaled(30_000.0, scale, 8_000.0)
     spec = TpcwSpec(
         n_customers=2_000,
@@ -43,7 +48,7 @@ def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
     )
     config = RunConfig(
         cluster=ClusterConfig(seed=seed),
-        planet=PlanetConfig(),
+        planet=planet_with_overrides(None),
         workload=WorkloadConfig(
             tx_factory=lambda session, rng: build_tpcw_tx(session, spec, rng),
             arrival="open",
@@ -118,8 +123,22 @@ def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
     return result
 
 
+SPEC = registry.register_legacy(
+    experiment_id="t3_tpcw_mix",
+    figure="T3",
+    title="TPC-W-like mixed workload, per-transaction-type breakdown",
+    module=__name__,
+    run_fn=_run,
+)
+
+
+def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+    registry.warn_deprecated_entry_point(SPEC.id)
+    return SPEC.run(seed=seed, scale=scale)
+
+
 def main() -> None:
-    run().print()
+    SPEC.run().print()
 
 
 if __name__ == "__main__":

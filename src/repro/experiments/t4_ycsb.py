@@ -17,9 +17,17 @@ phase an explicit read-modify-write performs).
 
 from __future__ import annotations
 
+from typing import Any, Dict, List
+
 from repro.cluster import ClusterConfig
-from repro.core.session import PlanetConfig
-from repro.experiments.common import ExperimentResult, ShapeCheck, scaled
+from repro.experiments import registry
+from repro.experiments.common import (
+    ExperimentResult,
+    ShapeCheck,
+    planet_with_overrides,
+    scaled,
+)
+from repro.experiments.registry import ExperimentSpec, GridPoint, PointContext
 from repro.harness.config import RunConfig, WorkloadConfig
 from repro.harness.report import Table
 from repro.harness.runner import run_experiment
@@ -28,7 +36,16 @@ from repro.workload.ycsb import YcsbSpec, build_ycsb_tx
 WORKLOADS = ("a", "b", "c", "d", "e", "f")
 
 
-def _run_workload(workload: str, seed: int, duration: float):
+def _grid(scale: float) -> List[GridPoint]:
+    return [
+        GridPoint(key=f"workload={workload}", params={"workload": workload})
+        for workload in WORKLOADS
+    ]
+
+
+def _run_point(params: Dict[str, Any], ctx: PointContext) -> Dict[str, Any]:
+    workload = params["workload"]
+    duration = scaled(20_000.0, ctx.scale, 6_000.0)
     spec = YcsbSpec(
         workload=workload,
         n_keys=2_000,
@@ -36,8 +53,8 @@ def _run_workload(workload: str, seed: int, duration: float):
         guess_threshold=0.95,
     )
     config = RunConfig(
-        cluster=ClusterConfig(seed=seed),
-        planet=PlanetConfig(),
+        cluster=ClusterConfig(seed=ctx.seed),
+        planet=planet_with_overrides(None),
         workload=WorkloadConfig(
             tx_factory=lambda session, rng: build_ycsb_tx(session, spec, rng),
             arrival="open",
@@ -59,9 +76,8 @@ def _run_workload(workload: str, seed: int, duration: float):
     }
 
 
-def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
-    duration = scaled(20_000.0, scale, 6_000.0)
-    rows = {w: _run_workload(w, seed, duration) for w in WORKLOADS}
+def _reduce(point_rows: List[Dict[str, Any]], ctx: PointContext) -> ExperimentResult:
+    rows = {row["workload"].lower(): row for row in point_rows}
 
     result = ExperimentResult("T4", "YCSB core workloads on the PLANET stack")
     table = Table(
@@ -102,8 +118,26 @@ def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
     return result
 
 
+SPEC = registry.register(
+    ExperimentSpec(
+        id="t4_ycsb",
+        figure="T4",
+        title="YCSB core workloads on the PLANET stack",
+        module=__name__,
+        grid=_grid,
+        run_point=_run_point,
+        reduce=_reduce,
+    )
+)
+
+
+def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+    registry.warn_deprecated_entry_point(SPEC.id)
+    return SPEC.run(seed=seed, scale=scale)
+
+
 def main() -> None:
-    run().print()
+    SPEC.run().print()
 
 
 if __name__ == "__main__":

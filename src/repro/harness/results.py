@@ -8,15 +8,53 @@ stores) would otherwise leak into the figures.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.stages import TxStage
 from repro.core.transaction import PlanetTransaction
 from repro.ops import AbortReason
 from repro.stats.calibration import CalibrationBins
 from repro.stats.histogram import LatencyCdf
+
+
+@dataclass
+class ResultSet:
+    """One sweep's raw rows, in grid order, with a determinism digest.
+
+    This is the executor-level result: every grid point's JSON-safe row
+    keyed by its point key, before the experiment's ``reduce`` turns them
+    into tables and shape checks.  :meth:`digest` is the parallel/serial
+    equivalence oracle — a serial run and a ``--jobs N`` run of the same
+    (experiment, seed, scale, overrides) must produce byte-identical
+    digests.
+    """
+
+    experiment_id: str
+    seed: int
+    scale: float
+    points: List[Tuple[str, Dict[str, object]]] = field(default_factory=list)
+
+    def rows(self) -> List[Dict[str, object]]:
+        return [row for _, row in self.points]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "experiment_id": self.experiment_id,
+            "seed": self.seed,
+            "scale": self.scale,
+            "points": [[key, row] for key, row in self.points],
+        }
+
+    def digest(self) -> str:
+        """SHA-256 of the canonical JSON serialisation of the whole set."""
+        canonical = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":"), allow_nan=True
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 @dataclass

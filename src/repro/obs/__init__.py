@@ -38,12 +38,21 @@ from repro.obs.events import (
     TraceEvent,
     Tracer,
     capture_active,
+    emit_to_capture,
     events_from_transaction,
     install,
+    installed_categories,
     new_tracer,
+    next_pid,
     uninstall,
 )
-from repro.obs.export import chrome_trace, record_to_dict, write_chrome_trace, write_jsonl
+from repro.obs.export import (
+    chrome_trace,
+    record_from_dict,
+    record_to_dict,
+    write_chrome_trace,
+    write_jsonl,
+)
 from repro.obs.profile import ProfileReport, SpanAggregator, render_profile
 from repro.obs.recorder import FlightRecorder
 from repro.obs.spans import Span
@@ -62,9 +71,13 @@ __all__ = [
     "capture",
     "capture_active",
     "chrome_trace",
+    "emit_to_capture",
     "events_from_transaction",
     "install",
+    "installed_categories",
     "new_tracer",
+    "next_pid",
+    "record_from_dict",
     "record_to_dict",
     "render_profile",
     "uninstall",

@@ -77,12 +77,17 @@ CATEGORIES: Tuple[str, ...] = (
     "admission",  # admission-control admit / delay / reject
     "tx",         # transaction-level instants (submit, decide)
     "metric",     # MetricsRegistry counter/latency adapter
+    "sweep",      # sweep executor point lifecycle (deterministic fields only)
+    "progress",   # sweep wall-clock progress / stragglers (non-deterministic)
 )
 
-#: Default capture set: everything except per-dispatch kernel events, which
-#: multiply the event volume without adding protocol insight.  Pass
-#: ``categories={"sim", ...}`` explicitly to include them.
-DEFAULT_CATEGORIES: FrozenSet[str] = frozenset(c for c in CATEGORIES if c != "sim")
+#: Default capture set: everything except per-dispatch kernel events (which
+#: multiply the event volume without adding protocol insight) and wall-clock
+#: ``progress`` events (which would break cross-run digest determinism).
+#: Pass ``categories={"sim", "progress", ...}`` explicitly to include them.
+DEFAULT_CATEGORIES: FrozenSet[str] = frozenset(
+    c for c in CATEGORIES if c not in ("sim", "progress")
+)
 
 
 class Tracer:
@@ -213,6 +218,38 @@ def uninstall() -> None:
 
 def capture_active() -> bool:
     return bool(_installed_sinks)
+
+
+def installed_categories() -> Optional[FrozenSet[str]]:
+    """The active capture's category filter (None = everything, or inactive)."""
+    return _installed_categories
+
+
+def next_pid() -> int:
+    """Mint a fresh simulator pid (used when replaying forwarded records)."""
+    return next(_pid_counter)
+
+
+def emit_to_capture(record) -> None:
+    """Feed one record straight into the installed capture's sinks.
+
+    This is the seam for events that have no simulator tracer behind them —
+    the sweep executor's point lifecycle, and records forwarded from worker
+    processes.  The installed category filter still applies, so replayed
+    streams and synthetic events obey the same rules as live tracers.
+    No-op when no capture is installed.
+    """
+    if not _installed_sinks:
+        return
+    cats = _installed_categories
+    if cats is not None and record.category not in cats:
+        return
+    if isinstance(record, TraceEvent):
+        for sink in _installed_sinks:
+            sink.on_event(record)
+    else:
+        for sink in _installed_sinks:
+            sink.on_span(record)
 
 
 def new_tracer() -> Tracer:

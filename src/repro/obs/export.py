@@ -52,6 +52,29 @@ def record_to_dict(record: Record) -> Dict[str, Any]:
     }
 
 
+def record_from_dict(payload: Dict[str, Any]) -> Record:
+    """Inverse of :func:`record_to_dict` (the worker→parent forwarding wire
+    format of the parallel sweep executor)."""
+    if payload["type"] == "event":
+        return TraceEvent(
+            time_ms=payload["time_ms"],
+            category=payload["category"],
+            name=payload["name"],
+            fields=dict(payload.get("fields", {})),
+            pid=payload.get("pid", 0),
+        )
+    return Span(
+        category=payload["category"],
+        name=payload["name"],
+        track=payload.get("track", ""),
+        start_ms=payload["start_ms"],
+        end_ms=payload.get("end_ms"),
+        depth=payload.get("depth", 0),
+        fields=dict(payload.get("fields", {})),
+        pid=payload.get("pid", 0),
+    )
+
+
 def write_jsonl(path: str, records: Iterable[Record]) -> int:
     """One record per line; returns the number of lines written."""
     count = 0

@@ -65,6 +65,18 @@ def next_txid(prefix: str = "tx") -> str:
     return f"{prefix}-{next(_txid_counter)}"
 
 
+def reset_txid_counter(start: int = 1) -> None:
+    """Restart txid numbering at ``start``.
+
+    The sweep executor calls this at the top of every grid point so a
+    point's txids are a function of the point alone, not of process
+    history — a forked worker and a serial run then mint identical ids,
+    which keeps trace digests byte-identical across ``--jobs`` values.
+    """
+    global _txid_counter
+    _txid_counter = itertools.count(start)
+
+
 @dataclass
 class TxRequest:
     """A transaction as handed to a commit engine.

@@ -9,6 +9,12 @@ from repro.net.topology import EC2_FIVE_DC, Topology
 from repro.sim.kernel import Simulator
 
 
+@pytest.fixture(autouse=True)
+def _isolated_sweep_cache(tmp_path, monkeypatch):
+    """Keep CLI-invoked sweeps from writing ``.repro_cache`` into the repo."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
 @pytest.fixture
 def sim() -> Simulator:
     return Simulator(seed=42)
