@@ -1,0 +1,80 @@
+"""Guards the metrics facade's no-op fast path.
+
+The whole design bargain of ``repro.obs.metrics`` is that leaving the
+instrumentation compiled in everywhere costs nothing while no registry is
+installed: every call site is ``if metrics.enabled:`` against
+``NULL_METRICS``.  These tests put a number on "nothing" — lenient bounds
+(shared CI machines are noisy) that would still catch the fast path
+accidentally growing a dict lookup, label rendering, or an uninstalled
+``current()`` call per event.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry, install, uninstall
+from repro.sim.kernel import Simulator
+
+
+def _best_of(fn, rounds: int = 5) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_null_guard_costs_one_attribute_load():
+    """The disabled guard should be within a small factor of a bare loop."""
+    n = 200_000
+    metrics = NULL_METRICS
+
+    def guarded():
+        for _ in range(n):
+            if metrics.enabled:
+                raise AssertionError("NULL_METRICS must stay disabled")
+
+    def bare():
+        for _ in range(n):
+            pass
+
+    guarded_s = _best_of(guarded)
+    bare_s = _best_of(bare)
+    # One attribute load + branch per iteration: generously under 5x the
+    # empty loop, with an absolute floor against timer jitter.
+    assert guarded_s < max(5.0 * bare_s, 0.05)
+
+
+def test_uninstalled_simulator_run_is_not_slower_than_collected():
+    """The same event storm through the kernel: the no-registry run must
+    not cost more than the actively-collecting run (it does strictly less
+    work per event)."""
+
+    def drive(events: int) -> None:
+        sim = Simulator(seed=0)
+
+        def tick(remaining: int) -> None:
+            if remaining:
+                sim.schedule(1.0, tick, remaining - 1)
+
+        sim.schedule(1.0, tick, events)
+        sim.run()
+
+    events = 50_000
+    drive(1_000)  # warm up allocators and bytecode caches
+
+    noop_s = _best_of(lambda: drive(events), rounds=3)
+
+    def collected() -> None:
+        install(MetricsRegistry())
+        try:
+            drive(events)
+        finally:
+            uninstall()
+
+    collected_s = _best_of(collected, rounds=3)
+    # Lenient: allow 1.5x + slack for scheduler noise, but a no-op path
+    # that started paying per-event label rendering would blow well past.
+    assert noop_s < collected_s * 1.5 + 0.05

@@ -136,6 +136,9 @@ class PlanetSession:
         """Run the transaction; callbacks fire as the simulation advances."""
         tx.waiter = Waiter()
         self.metrics.increment("submitted")
+        gm = self.sim.metrics
+        if gm.enabled:
+            gm.inc("planet.submitted", dc=self.dc_name)
         self._attempt_admission(tx, previous_delays=0)
         return tx
 
@@ -156,6 +159,9 @@ class PlanetSession:
             # Hold the transaction back; hot records cool as their in-flight
             # writers decide, so the prior improves on the next attempt.
             self.metrics.increment("delayed_admission")
+            gm = self.sim.metrics
+            if gm.enabled:
+                gm.inc("planet.admission_delays", dc=self.dc_name)
             self.sim.schedule(
                 decision.delay_ms, self._attempt_admission, tx, previous_delays + 1
             )
@@ -243,32 +249,57 @@ class PlanetSession:
             txid=tx.txid, outcome=Outcome.ABORTED, reason=AbortReason.ADMISSION, decided_at=now
         )
         self.metrics.increment("rejected_admission")
+        gm = self.sim.metrics
+        if gm.enabled:
+            gm.inc("planet.admission_rejections", dc=self.dc_name)
         self.finished.append(tx)
         tx.callbacks.fire_abort(tx)
         tx.waiter.wake(tx.decision)
 
     def _record_metrics(self, tx: PlanetTransaction) -> None:
         metrics = self.metrics
+        gm = self.sim.metrics
         if tx.committed:
             metrics.increment("committed")
+            if gm.enabled:
+                gm.inc("planet.committed", dc=self.dc_name)
             latency = tx.commit_latency_ms()
             if latency is not None:
                 metrics.observe_latency("commit_latency_ms", latency)
+                if gm.enabled:
+                    gm.observe("planet.commit_latency_ms", latency, dc=self.dc_name)
         else:
             metrics.increment("aborted")
             metrics.increment(f"aborted_{tx.abort_reason.value}")
+            if gm.enabled:
+                reason = tx.abort_reason.value if tx.abort_reason is not None else "unknown"
+                gm.inc("planet.aborted", dc=self.dc_name, reason=reason)
         if tx.was_guessed:
             metrics.increment("guessed")
+            if gm.enabled:
+                gm.inc("planet.guesses", dc=self.dc_name)
             guess_latency = tx.guess_latency_ms()
             if guess_latency is not None:
                 metrics.observe_latency("guess_latency_ms", guess_latency)
             if not tx.committed:
                 metrics.increment("wrong_guesses")
+                if gm.enabled:
+                    # Each wrong guess owes the application an apology
+                    # (the paper's "guesses, apologies" contract).
+                    gm.inc("planet.apologies", dc=self.dc_name)
             if tx.predicted_at_guess is not None:
                 self.calibration_at_guess.update(
                     min(tx.predicted_at_guess, 1.0), tx.committed
                 )
         if tx.predicted_at_first_vote is not None:
-            self.calibration_first_vote.update(
-                min(tx.predicted_at_first_vote, 1.0), tx.committed
-            )
+            predicted = min(tx.predicted_at_first_vote, 1.0)
+            self.calibration_first_vote.update(predicted, tx.committed)
+            if gm.enabled:
+                # Decile buckets so the calibration curve can be read off a
+                # metrics snapshot without replaying the run.
+                bucket = min(int(predicted * 10), 9)
+                gm.inc(
+                    "planet.likelihood_bucket",
+                    bucket=f"{bucket / 10:.1f}",
+                    committed=str(tx.committed).lower(),
+                )

@@ -1,0 +1,348 @@
+"""``python -m repro bench``: the tracked performance trajectory.
+
+A bench run executes a curated set of registry grid points at fixed,
+small scales — chosen to exercise every engine surface (fast path,
+classic fallback, jitter, group commit, a threshold sweep) in well under
+a minute — and writes a ``BENCH_<label>.json`` snapshot: git revision,
+per-point wall-clock samples, kernel events/second, the ResultSet digest
+(so a perf change that also changes *results* is immediately visible),
+and the full metrics snapshot of the last repeat.
+
+``repro bench --compare A B`` diffs two snapshots.  Wall-clock numbers
+are noisy, so each point is repeated and the comparison uses a
+two-sample bootstrap CI of the mean difference
+(:func:`repro.stats.bootstrap.diff_of_means_ci`): a point regresses only
+when the CI excludes zero *and* the slowdown exceeds ``--threshold``.
+Comparing a file against itself therefore always exits 0, and a genuine
+slowdown beyond noise exits 1 — which is what the CI job keys off.
+
+Benches always run serially with the cache disabled: a timing sample
+must reflect a real execution, and worker processes do not forward
+metrics to the parent registry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import install as install_metrics
+from repro.obs.metrics import uninstall as uninstall_metrics
+from repro.stats.bootstrap import ConfidenceInterval, diff_of_means_ci
+
+SCHEMA = "repro-bench-v1"
+
+
+class BenchFormatError(ValueError):
+    """A BENCH_*.json file does not match the schema."""
+
+
+@dataclass(frozen=True)
+class BenchPoint:
+    """One benchmarked configuration: a registry experiment at fixed scale."""
+
+    label: str
+    experiment_id: str
+    seed: int = 0
+    scale: float = 0.1
+
+
+#: The tracked set: one point per engine surface worth watching.
+CURATED: List[BenchPoint] = [
+    BenchPoint("f6_commit", "f6_commit_latency", scale=0.1),
+    BenchPoint("a2_fast_paxos", "a2_fast_paxos", scale=0.1),
+    BenchPoint("s2_jitter", "s2_jitter", scale=0.1),
+    BenchPoint("a4_group_commit", "a4_group_commit", scale=0.1),
+    BenchPoint("f9_threshold", "f9_threshold_sweep", scale=0.05),
+]
+
+#: The smoke set (CI, ``--quick``): seconds, not a minute.
+QUICK: List[BenchPoint] = [
+    BenchPoint("f6_commit", "f6_commit_latency", scale=0.05),
+    BenchPoint("a2_fast_paxos", "a2_fast_paxos", scale=0.05),
+]
+
+
+def git_rev() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else "unknown"
+
+
+# ----------------------------------------------------------------------
+# Running
+# ----------------------------------------------------------------------
+def run_bench(
+    points: Sequence[BenchPoint],
+    repeats: int = 3,
+    label: str = "local",
+    progress: Optional[Any] = None,
+) -> Dict[str, Any]:
+    """Execute every point ``repeats`` times; return the snapshot document."""
+    from repro.harness.parallel import SweepOptions, run_sweep
+
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    if not points:
+        raise ValueError("no bench points to run")
+
+    def note(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    document: Dict[str, Any] = {
+        "schema": SCHEMA,
+        "label": label,
+        "git_rev": git_rev(),
+        "created_at": int(time.time()),
+        "repeats": repeats,
+        "points": {},
+    }
+    for point in points:
+        wall_s: List[float] = []
+        events_per_sec: List[float] = []
+        digest = ""
+        sim_ms = 0.0
+        snapshot: Dict[str, Any] = {}
+        for repeat in range(repeats):
+            registry = MetricsRegistry()
+            install_metrics(registry)
+            try:
+                run = run_sweep(
+                    point.experiment_id,
+                    seed=point.seed,
+                    scale=point.scale,
+                    options=SweepOptions(jobs=1, cache=None),
+                )
+            finally:
+                uninstall_metrics()
+            wall_s.append(run.wall_s)
+            if run.perf is not None:
+                events_per_sec.append(run.perf.events_per_sec)
+                sim_ms = run.perf.sim_ms
+            repeat_digest = run.result_set.digest()
+            if digest and repeat_digest != digest:
+                raise RuntimeError(
+                    f"bench point {point.label!r}: nondeterministic ResultSet "
+                    f"digest across repeats ({digest[:12]}… vs "
+                    f"{repeat_digest[:12]}…)"
+                )
+            digest = repeat_digest
+            snapshot = registry.snapshot()
+            note(
+                f"[bench] {point.label} repeat {repeat + 1}/{repeats}: "
+                f"{wall_s[-1]:.2f}s"
+            )
+        document["points"][point.label] = {
+            "experiment": point.experiment_id,
+            "seed": point.seed,
+            "scale": point.scale,
+            "wall_s": wall_s,
+            "kernel_events_per_sec": events_per_sec,
+            "sim_ms": sim_ms,
+            "result_digest": digest,
+            "metrics": snapshot,
+        }
+    return document
+
+
+def bench_path(label: str, directory: str = ".") -> str:
+    return os.path.join(directory, f"BENCH_{label}.json")
+
+
+def write_bench(document: Dict[str, Any], path: str) -> str:
+    """Write atomically (``.tmp`` + rename) so a killed bench never leaves
+    a half-written snapshot where ``--compare`` would find it."""
+    validate_bench(document)
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return path
+
+
+# ----------------------------------------------------------------------
+# Loading / validation
+# ----------------------------------------------------------------------
+_POINT_KEYS = {
+    "experiment", "seed", "scale", "wall_s",
+    "kernel_events_per_sec", "sim_ms", "result_digest", "metrics",
+}
+
+
+def validate_bench(document: Any) -> Dict[str, Any]:
+    if not isinstance(document, dict):
+        raise BenchFormatError("bench document must be a JSON object")
+    if document.get("schema") != SCHEMA:
+        raise BenchFormatError(
+            f"unsupported schema {document.get('schema')!r} (want {SCHEMA!r})"
+        )
+    for key in ("label", "git_rev"):
+        if not isinstance(document.get(key), str):
+            raise BenchFormatError(f"missing or non-string field {key!r}")
+    points = document.get("points")
+    if not isinstance(points, dict) or not points:
+        raise BenchFormatError("'points' must be a non-empty object")
+    for label, point in points.items():
+        if not isinstance(point, dict):
+            raise BenchFormatError(f"point {label!r} must be an object")
+        missing = _POINT_KEYS - set(point)
+        if missing:
+            raise BenchFormatError(
+                f"point {label!r} is missing {sorted(missing)}"
+            )
+        walls = point["wall_s"]
+        if (
+            not isinstance(walls, list)
+            or not walls
+            or not all(isinstance(w, (int, float)) and w >= 0 for w in walls)
+        ):
+            raise BenchFormatError(
+                f"point {label!r}: wall_s must be a non-empty list of "
+                "non-negative numbers"
+            )
+        if not isinstance(point["result_digest"], str):
+            raise BenchFormatError(f"point {label!r}: result_digest must be a string")
+    return document
+
+
+def load_bench(path: str) -> Dict[str, Any]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as exc:
+        raise BenchFormatError(f"cannot read {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise BenchFormatError(f"{path} is not valid JSON: {exc}") from exc
+    return validate_bench(document)
+
+
+# ----------------------------------------------------------------------
+# Comparison
+# ----------------------------------------------------------------------
+@dataclass
+class PointComparison:
+    label: str
+    base_mean_s: float
+    new_mean_s: float
+    ci: ConfidenceInterval          # of mean(new) - mean(base), seconds
+    regression: bool
+    improvement: bool
+    digest_changed: bool
+
+    @property
+    def ratio(self) -> float:
+        return self.new_mean_s / self.base_mean_s if self.base_mean_s > 0 else 1.0
+
+
+@dataclass
+class BenchComparison:
+    base_label: str
+    new_label: str
+    threshold: float
+    points: List[PointComparison] = field(default_factory=list)
+    only_in_base: List[str] = field(default_factory=list)
+    only_in_new: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[PointComparison]:
+        return [p for p in self.points if p.regression]
+
+    def render(self) -> str:
+        header = (
+            f"{'point':<18} {'base s':>8} {'new s':>8} {'ratio':>7} "
+            f"{'diff CI (s)':>22}  verdict"
+        )
+        lines = [
+            f"bench compare: {self.base_label} -> {self.new_label} "
+            f"(threshold {self.threshold:.0%})",
+            "-" * len(header),
+            header,
+            "-" * len(header),
+        ]
+        for p in self.points:
+            if p.regression:
+                verdict = "REGRESSION"
+            elif p.improvement:
+                verdict = "improved"
+            else:
+                verdict = "ok"
+            if p.digest_changed:
+                verdict += " (results changed)"
+            lines.append(
+                f"{p.label:<18} {p.base_mean_s:>8.3f} {p.new_mean_s:>8.3f} "
+                f"{p.ratio:>6.2f}x [{p.ci.low:>+9.3f}, {p.ci.high:>+9.3f}]  "
+                f"{verdict}"
+            )
+        for label in self.only_in_base:
+            lines.append(f"{label:<18} {'—':>8} {'—':>8}   only in baseline")
+        for label in self.only_in_new:
+            lines.append(f"{label:<18} {'—':>8} {'—':>8}   only in candidate")
+        lines.append("-" * len(header))
+        n = len(self.regressions)
+        lines.append(
+            f"{n} regression(s)" if n else "no regressions beyond noise"
+        )
+        return "\n".join(lines)
+
+
+def compare_bench(
+    base: Dict[str, Any],
+    new: Dict[str, Any],
+    threshold: float = 0.05,
+    confidence: float = 0.95,
+) -> BenchComparison:
+    """Diff two validated bench documents point by point.
+
+    A point regresses when the bootstrap CI of the wall-clock difference
+    excludes zero on the slow side *and* the mean slowdown exceeds
+    ``threshold`` (relative).  Points present on only one side are listed
+    but never flagged — a renamed point should not fail CI by itself.
+    """
+    validate_bench(base)
+    validate_bench(new)
+    if threshold < 0:
+        raise ValueError("threshold must be >= 0")
+    report = BenchComparison(
+        base_label=base["label"], new_label=new["label"], threshold=threshold
+    )
+    base_points = base["points"]
+    new_points = new["points"]
+    for label in sorted(set(base_points) & set(new_points)):
+        walls_a = [float(w) for w in base_points[label]["wall_s"]]
+        walls_b = [float(w) for w in new_points[label]["wall_s"]]
+        ci = diff_of_means_ci(walls_a, walls_b, confidence=confidence)
+        mean_a = sum(walls_a) / len(walls_a)
+        mean_b = sum(walls_b) / len(walls_b)
+        significant = not ci.contains(0.0)
+        relative = (mean_b - mean_a) / mean_a if mean_a > 0 else 0.0
+        report.points.append(
+            PointComparison(
+                label=label,
+                base_mean_s=mean_a,
+                new_mean_s=mean_b,
+                ci=ci,
+                regression=significant and relative > threshold,
+                improvement=significant and relative < -threshold,
+                digest_changed=(
+                    base_points[label]["result_digest"]
+                    != new_points[label]["result_digest"]
+                ),
+            )
+        )
+    report.only_in_base = sorted(set(base_points) - set(new_points))
+    report.only_in_new = sorted(set(new_points) - set(base_points))
+    return report

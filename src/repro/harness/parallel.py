@@ -42,7 +42,9 @@ from repro.experiments import common
 from repro.experiments.common import ExperimentResult
 from repro.experiments.registry import ExperimentSpec, GridPoint, PointContext
 from repro.harness.cache import ResultCache, code_fingerprint, point_cache_key
+from repro.harness.perf import PerfReport, PhaseClock
 from repro.harness.results import ResultSet
+from repro.obs.metrics import current as current_metrics
 
 
 class SweepError(RuntimeError):
@@ -72,6 +74,7 @@ class SweepOptions:
     point_timeout_s: Optional[float] = None   # wall-clock, parallel mode only
     retries: int = 1                          # re-attempts after timeout/crash
     straggler_factor: float = 3.0             # × median wall time → straggler
+    straggler_min_s: float = 10.0             # floor below which nothing straggles
     progress: Optional[Callable[[str], None]] = None
     start_method: Optional[str] = None        # default: fork if available
 
@@ -90,6 +93,7 @@ class SweepRun:
     cache_misses: int = 0
     wall_s: float = 0.0
     point_wall_s: Dict[str, float] = field(default_factory=dict)
+    perf: Optional[PerfReport] = None
 
 
 def default_start_method() -> str:
@@ -244,46 +248,54 @@ def run_sweep(
     options = options if options is not None else SweepOptions()
     overrides = dict(overrides) if overrides else {}
     started = time.monotonic()
+    clock = PhaseClock()
+    metrics = current_metrics()
 
-    points = list(spec.grid(scale))
-    if not points:
-        raise SweepError(f"{spec.id}: empty grid")
-    keys = [point.key for point in points]
-    if len(set(keys)) != len(keys):
-        raise SweepError(f"{spec.id}: duplicate grid point keys")
-    seeds = [spec.seed_for(seed, point) for point in points]
+    with clock.phase("grid"):
+        points = list(spec.grid(scale))
+        if not points:
+            raise SweepError(f"{spec.id}: empty grid")
+        keys = [point.key for point in points]
+        if len(set(keys)) != len(keys):
+            raise SweepError(f"{spec.id}: duplicate grid point keys")
+        seeds = [spec.seed_for(seed, point) for point in points]
 
-    capture_installed = obs.capture_active()
-    capture: Optional[Dict[str, Any]] = None
-    if capture_installed:
-        categories = obs.installed_categories()
-        capture = {"categories": sorted(categories) if categories is not None else None}
+        capture_installed = obs.capture_active()
+        capture: Optional[Dict[str, Any]] = None
+        if capture_installed:
+            categories = obs.installed_categories()
+            capture = {"categories": sorted(categories) if categories is not None else None}
 
-    # A trace must reflect a real execution: captures bypass the cache.
-    cache = options.cache if not capture_installed else None
-    fingerprint = code_fingerprint() if cache is not None else None
+        # A trace must reflect a real execution: captures bypass the cache.
+        cache = options.cache if not capture_installed else None
+        fingerprint = code_fingerprint() if cache is not None else None
 
-    rows: List[Optional[Dict[str, Any]]] = [None] * len(points)
-    records_by_index: Dict[int, List[Dict[str, Any]]] = {}
-    point_wall_s: Dict[str, float] = {}
-    cache_keys: List[Optional[str]] = [None] * len(points)
-    hits = misses = 0
+        rows: List[Optional[Dict[str, Any]]] = [None] * len(points)
+        records_by_index: Dict[int, List[Dict[str, Any]]] = {}
+        point_wall_s: Dict[str, float] = {}
+        cache_keys: List[Optional[str]] = [None] * len(points)
+        hits = misses = 0
 
-    pending: List[int] = []
-    for index, point in enumerate(points):
-        if cache is not None:
-            cache_keys[index] = point_cache_key(
-                spec.id, point.key, point.params, seeds[index], scale,
-                overrides, fingerprint,
-            )
-            row = cache.get(spec.id, cache_keys[index])
-            if row is not None:
-                rows[index] = row
-                hits += 1
-                point_wall_s[point.key] = 0.0
-                continue
-            misses += 1
-        pending.append(index)
+        pending: List[int] = []
+        for index, point in enumerate(points):
+            if cache is not None:
+                cache_keys[index] = point_cache_key(
+                    spec.id, point.key, point.params, seeds[index], scale,
+                    overrides, fingerprint,
+                )
+                row = cache.get(spec.id, cache_keys[index])
+                if row is not None:
+                    rows[index] = row
+                    hits += 1
+                    point_wall_s[point.key] = 0.0
+                    continue
+                misses += 1
+            pending.append(index)
+
+    if metrics.enabled:
+        metrics.inc("sweep.points", len(points), experiment=spec.id)
+        metrics.inc("sweep.cache_hits", hits, experiment=spec.id)
+        metrics.inc("sweep.cache_misses", misses, experiment=spec.id)
 
     jobs = max(1, int(options.jobs))
     parallel = jobs > 1 and len(pending) > 1
@@ -292,76 +304,83 @@ def run_sweep(
         if options.progress is not None:
             options.progress(message)
 
-    if parallel:
-        outcomes = _run_parallel(
-            spec, points, seeds, pending, scale, overrides, capture,
-            jobs, options, note,
-        )
-        for index, (row, records, wall_s) in outcomes.items():
-            rows[index] = _check_row(spec.id, points[index].key, row)
-            point_wall_s[points[index].key] = wall_s
-            if records is not None:
-                records_by_index[index] = records
-            if cache is not None:
-                cache.put(
-                    spec.id, cache_keys[index], rows[index],
-                    meta={"experiment": spec.id, "point": points[index].key,
-                          "seed": seeds[index], "scale": scale},
-                )
-        # Deterministic replay pass, in grid order: lifecycle events
-        # interleaved with each point's forwarded records — the same
-        # sink-visible sequence the serial path produces live.
-        for index, point in enumerate(points):
-            _emit_sweep(
-                "point_start", float(index),
-                experiment=spec.id, key=point.key, index=index, seed=seeds[index],
+    with clock.phase("points"):
+        if parallel:
+            outcomes = _run_parallel(
+                spec, points, seeds, pending, scale, overrides, capture,
+                jobs, options, note,
             )
-            if index in records_by_index:
-                _replay_records(index, records_by_index[index])
-            _emit_sweep("point_done", float(index), experiment=spec.id,
-                        key=point.key, index=index)
-    else:
-        for index, point in enumerate(points):
-            _emit_sweep(
-                "point_start", float(index),
-                experiment=spec.id, key=point.key, index=index, seed=seeds[index],
-            )
-            if rows[index] is None:
-                point_started = time.monotonic()
-                # Inline: simulators bind the installed capture directly,
-                # so records flow live — no forwarding needed.
-                row, _ = _execute_point(
-                    spec, point, seeds[index], scale, overrides, capture=None
-                )
-                rows[index] = _check_row(spec.id, point.key, row)
-                wall_s = time.monotonic() - point_started
-                point_wall_s[point.key] = wall_s
+            for index, (row, records, wall_s) in outcomes.items():
+                rows[index] = _check_row(spec.id, points[index].key, row)
+                point_wall_s[points[index].key] = wall_s
+                if records is not None:
+                    records_by_index[index] = records
                 if cache is not None:
                     cache.put(
                         spec.id, cache_keys[index], rows[index],
-                        meta={"experiment": spec.id, "point": point.key,
+                        meta={"experiment": spec.id, "point": points[index].key,
                               "seed": seeds[index], "scale": scale},
                     )
-                _emit_progress("point_finished", experiment=spec.id,
-                               key=point.key, wall_s=wall_s, cached=False)
-                note(f"[{spec.id}] {point.key}: done in {wall_s:.1f}s "
-                     f"({index + 1}/{len(points)})")
-            else:
-                _emit_progress("point_finished", experiment=spec.id,
-                               key=point.key, wall_s=0.0, cached=True)
-                note(f"[{spec.id}] {point.key}: cached ({index + 1}/{len(points)})")
-            _emit_sweep("point_done", float(index), experiment=spec.id,
-                        key=point.key, index=index)
+            # Deterministic replay pass, in grid order: lifecycle events
+            # interleaved with each point's forwarded records — the same
+            # sink-visible sequence the serial path produces live.
+            for index, point in enumerate(points):
+                _emit_sweep(
+                    "point_start", float(index),
+                    experiment=spec.id, key=point.key, index=index, seed=seeds[index],
+                )
+                if index in records_by_index:
+                    _replay_records(index, records_by_index[index])
+                _emit_sweep("point_done", float(index), experiment=spec.id,
+                            key=point.key, index=index)
+        else:
+            for index, point in enumerate(points):
+                _emit_sweep(
+                    "point_start", float(index),
+                    experiment=spec.id, key=point.key, index=index, seed=seeds[index],
+                )
+                if rows[index] is None:
+                    point_started = time.monotonic()
+                    # Inline: simulators bind the installed capture directly,
+                    # so records flow live — no forwarding needed.
+                    row, _ = _execute_point(
+                        spec, point, seeds[index], scale, overrides, capture=None
+                    )
+                    rows[index] = _check_row(spec.id, point.key, row)
+                    wall_s = time.monotonic() - point_started
+                    point_wall_s[point.key] = wall_s
+                    if cache is not None:
+                        cache.put(
+                            spec.id, cache_keys[index], rows[index],
+                            meta={"experiment": spec.id, "point": point.key,
+                                  "seed": seeds[index], "scale": scale},
+                        )
+                    _emit_progress("point_finished", experiment=spec.id,
+                                   key=point.key, wall_s=wall_s, cached=False)
+                    note(f"[{spec.id}] {point.key}: done in {wall_s:.1f}s "
+                         f"({index + 1}/{len(points)})")
+                else:
+                    _emit_progress("point_finished", experiment=spec.id,
+                                   key=point.key, wall_s=0.0, cached=True)
+                    note(f"[{spec.id}] {point.key}: cached ({index + 1}/{len(points)})")
+                _emit_sweep("point_done", float(index), experiment=spec.id,
+                            key=point.key, index=index)
 
-    result_set = ResultSet(
-        experiment_id=spec.id,
-        seed=seed,
-        scale=scale,
-        points=[(point.key, rows[index]) for index, point in enumerate(points)],
-    )
-    reduce_ctx = PointContext(seed=seed, scale=scale, overrides=overrides)
-    with common.active_overrides(overrides):
-        result = spec.reduce([dict(row) for row in result_set.rows()], reduce_ctx)
+    if metrics.enabled:
+        for wall_s in point_wall_s.values():
+            if wall_s > 0:
+                metrics.observe("sweep.point_wall_s", wall_s, experiment=spec.id)
+
+    with clock.phase("reduce"):
+        result_set = ResultSet(
+            experiment_id=spec.id,
+            seed=seed,
+            scale=scale,
+            points=[(point.key, rows[index]) for index, point in enumerate(points)],
+        )
+        reduce_ctx = PointContext(seed=seed, scale=scale, overrides=overrides)
+        with common.active_overrides(overrides):
+            result = spec.reduce([dict(row) for row in result_set.rows()], reduce_ctx)
     return SweepRun(
         experiment_id=spec.id,
         seed=seed,
@@ -373,6 +392,7 @@ def run_sweep(
         cache_misses=misses,
         wall_s=time.monotonic() - started,
         point_wall_s=point_wall_s,
+        perf=clock.report(),
     )
 
 
@@ -431,6 +451,8 @@ def _run_parallel(
     flagged_stragglers: set = set()
     outcomes: Dict[int, Tuple[Dict[str, Any], Optional[List[Dict[str, Any]]], float]] = {}
     failure: Optional[SweepPointError] = None
+    metrics = current_metrics()
+    sched_started = time.monotonic()
 
     try:
         for index in pending:
@@ -442,6 +464,8 @@ def _run_parallel(
             nonlocal failure
             if retryable and attempts[index] <= options.retries:
                 attempts[index] += 1
+                if metrics.enabled:
+                    metrics.inc("sweep.retries", experiment=spec.id)
                 note(f"[{spec.id}] {points[index].key}: {detail}; retrying "
                      f"(attempt {attempts[index]}/{options.retries + 1})")
                 _emit_progress("point_retry", experiment=spec.id,
@@ -517,11 +541,13 @@ def _run_parallel(
             finished_walls = sorted(wall for _, _, wall in outcomes.values())
             if finished_walls:
                 median = finished_walls[len(finished_walls) // 2]
-                threshold = max(10.0, options.straggler_factor * median)
+                threshold = max(options.straggler_min_s, options.straggler_factor * median)
                 for index, (started_at, _) in running.items():
                     elapsed = now - started_at
                     if elapsed > threshold and index not in flagged_stragglers:
                         flagged_stragglers.add(index)
+                        if metrics.enabled:
+                            metrics.inc("sweep.stragglers", experiment=spec.id)
                         _emit_progress(
                             "straggler", experiment=spec.id,
                             key=points[index].key, wall_s=elapsed,
@@ -531,6 +557,17 @@ def _run_parallel(
                              f"({elapsed:.1f}s vs median {median:.1f}s)")
         if failure is not None:
             raise failure
+        if metrics.enabled:
+            # Busy time summed over completed points vs. the worker-pool
+            # wall capacity: 1.0 = every worker busy the whole time.
+            elapsed = time.monotonic() - sched_started
+            busy = sum(wall for _, _, wall in outcomes.values())
+            if elapsed > 0 and n_workers > 0:
+                metrics.set_gauge(
+                    "sweep.worker_utilization",
+                    min(1.0, busy / (elapsed * n_workers)),
+                    experiment=spec.id,
+                )
         return outcomes
     finally:
         for process in workers.values():

@@ -106,7 +106,9 @@ class MdccCoordinator(NetworkNode):
         self.config = config if config is not None else MdccConfig()
         self.replica_ids = list(replica_ids)
         self.local_replica_id = self._pick_local_replica(network)
-        self.ballots = BallotGenerator(node_id, tracer=sim.tracer, clock=self._clock)
+        self.ballots = BallotGenerator(
+            node_id, tracer=sim.tracer, clock=self._clock, metrics=sim.metrics
+        )
         self._inflight: Dict[str, _InflightTx] = {}
         self.decisions: List[Decision] = []
         self.crashed = False
@@ -242,6 +244,9 @@ class MdccCoordinator(NetworkNode):
             # Session guarantee (read-your-writes): the local replica has
             # not yet applied a decision this session already observed.
             # Re-read shortly; the decision broadcast is already in flight.
+            metrics = self.sim.metrics
+            if metrics.enabled:
+                metrics.inc("mdcc.read_retries")
             self.sim.schedule(
                 self.READ_RETRY_DELAY_MS,
                 self.send,
@@ -284,6 +289,9 @@ class MdccCoordinator(NetworkNode):
 
     def _send_prepares(self, tx: _InflightTx) -> None:
         tx.phase = "prepare"
+        metrics = self.sim.metrics
+        if metrics.enabled:
+            metrics.inc("mdcc.rounds", phase="prepare", path="classic")
         tracer = self.sim.tracer
         if tracer.enabled:
             tx.round_span = tracer.begin(
@@ -314,6 +322,12 @@ class MdccCoordinator(NetworkNode):
     def _send_accepts(self, tx: _InflightTx) -> None:
         tx.phase = "accept"
         now = self.sim.now
+        metrics = self.sim.metrics
+        if metrics.enabled:
+            fast = tx.ballot.fast if tx.ballot is not None else True
+            metrics.inc(
+                "mdcc.rounds", phase="accept", path="fast" if fast else "classic"
+            )
         tracer = self.sim.tracer
         if tracer.enabled:
             tracer.end(tx.round_span, now)  # classic path: prepare round done
@@ -340,6 +354,11 @@ class MdccCoordinator(NetworkNode):
         if tracker is None:
             return
         tracker.add_vote(msg.sender, msg.accepted)
+        if not msg.accepted:
+            metrics = self.sim.metrics
+            if metrics.enabled:
+                # A replica rejected the option: the record is contended.
+                metrics.inc("mdcc.option_conflicts")
         tracer = self.sim.tracer
         if tracer.enabled:
             tracer.emit(
@@ -386,6 +405,9 @@ class MdccCoordinator(NetworkNode):
                         options=options,
                     ),
                 )
+        metrics = self.sim.metrics
+        if metrics.enabled:
+            metrics.inc("mdcc.decisions", outcome=outcome.value, reason=reason.value)
         tracer = self.sim.tracer
         if tracer.enabled:
             tracer.end(tx.round_span, self.sim.now, outcome=outcome.value)

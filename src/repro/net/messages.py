@@ -28,3 +28,12 @@ class Message:
     @property
     def kind(self) -> str:
         return type(self).__name__
+
+    def approx_size_bytes(self) -> int:
+        """Rough wire-size proxy used by the byte counters.
+
+        The simulator has no serialisation layer, so the length of the
+        dataclass repr stands in; what matters for the per-kind byte
+        metrics is the *relative* weight of option payloads vs. votes.
+        """
+        return len(repr(self))

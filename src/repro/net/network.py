@@ -88,9 +88,15 @@ class Network:
         message.sent_at = self.sim.now
         self.messages_sent += 1
         tracer = self.sim.tracer
+        metrics = self.sim.metrics
+        if metrics.enabled:
+            metrics.inc("net.messages_sent", kind=message.kind)
+            metrics.inc("net.bytes_sent", message.approx_size_bytes(), kind=message.kind)
 
         if self.partitions.drops(self.sim.now, sender.datacenter, recipient.datacenter):
             self.messages_dropped += 1
+            if metrics.enabled:
+                metrics.inc("net.messages_dropped", cause="partition")
             if tracer.enabled:
                 tracer.emit(
                     self.sim.now, "message", "drop",
@@ -99,6 +105,8 @@ class Network:
             return
         if self.loss_probability > 0 and self._rng.random() < self.loss_probability:
             self.messages_dropped += 1
+            if metrics.enabled:
+                metrics.inc("net.messages_dropped", cause="loss")
             if tracer.enabled:
                 tracer.emit(
                     self.sim.now, "message", "drop",
@@ -119,8 +127,11 @@ class Network:
     def _deliver(self, recipient_id: str, message: Message) -> None:
         node = self._nodes.get(recipient_id)
         tracer = self.sim.tracer
+        metrics = self.sim.metrics
         if node is None:  # node may have been torn down mid-flight
             self.messages_dropped += 1
+            if metrics.enabled:
+                metrics.inc("net.messages_dropped", cause="gone")
             if tracer.enabled:
                 tracer.emit(
                     self.sim.now, "message", "drop",
@@ -128,6 +139,11 @@ class Network:
                 )
             return
         self.messages_delivered += 1
+        if metrics.enabled:
+            metrics.inc("net.messages_delivered", kind=message.kind)
+            metrics.observe(
+                "net.flight_ms", self.sim.now - message.sent_at, kind=message.kind
+            )
         if tracer.enabled:
             # One completed span per delivered message: its wide-area flight.
             tracer.span(

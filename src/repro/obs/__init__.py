@@ -10,7 +10,9 @@ The observability subsystem every other layer reports into:
 * :mod:`~repro.obs.export` — JSONL and Chrome ``trace_event`` export
   (opens in ``chrome://tracing`` / Perfetto);
 * :mod:`~repro.obs.profile` — the "where did the milliseconds go"
-  simulated-time profiler.
+  simulated-time profiler;
+* :mod:`~repro.obs.metrics` — the counters/gauges/histograms facade with
+  the same no-op fast path and process-wide install discipline.
 
 Typical use from tests or drivers::
 
@@ -46,6 +48,7 @@ from repro.obs.events import (
     next_pid,
     uninstall,
 )
+from repro.obs import metrics as _metrics_module
 from repro.obs.export import (
     chrome_trace,
     record_from_dict,
@@ -53,6 +56,15 @@ from repro.obs.export import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.obs.metrics import (
+    NULL_METRICS,
+    MetricsRegistry,
+    ValueHist,
+)
+from repro.obs.metrics import active as metrics_active
+from repro.obs.metrics import current as current_metrics
+from repro.obs.metrics import install as install_metrics
+from repro.obs.metrics import uninstall as uninstall_metrics
 from repro.obs.profile import ProfileReport, SpanAggregator, render_profile
 from repro.obs.recorder import FlightRecorder
 from repro.obs.spans import Span
@@ -60,27 +72,35 @@ from repro.obs.spans import Span
 __all__ = [
     "CATEGORIES",
     "DEFAULT_CATEGORIES",
+    "NULL_METRICS",
     "NULL_TRACER",
     "FlightRecorder",
+    "MetricsRegistry",
     "ProfileReport",
     "Sink",
     "Span",
     "SpanAggregator",
     "TraceEvent",
     "Tracer",
+    "ValueHist",
     "capture",
     "capture_active",
     "chrome_trace",
+    "collect_metrics",
+    "current_metrics",
     "emit_to_capture",
     "events_from_transaction",
     "install",
+    "install_metrics",
     "installed_categories",
+    "metrics_active",
     "new_tracer",
     "next_pid",
     "record_from_dict",
     "record_to_dict",
     "render_profile",
     "uninstall",
+    "uninstall_metrics",
     "write_chrome_trace",
     "write_jsonl",
 ]
@@ -100,3 +120,23 @@ def capture(
         yield
     finally:
         uninstall()
+
+
+@contextmanager
+def collect_metrics(
+    registry: Optional[MetricsRegistry] = None,
+) -> Iterator[MetricsRegistry]:
+    """Collect metrics from every simulator created inside the block.
+
+    Yields the registry (a fresh one when none is passed)::
+
+        with obs.collect_metrics() as metrics:
+            result = run_experiment(config)
+        print(metrics.snapshot()["counters"]["sim.events"])
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    _metrics_module.install(registry)
+    try:
+        yield registry
+    finally:
+        _metrics_module.uninstall()

@@ -1,0 +1,318 @@
+"""The system-wide metrics facade: counters, gauges, labelled histograms.
+
+This module is the quantitative half of the observability stack.  The
+event bus (:mod:`repro.obs.events`) answers "what happened, in order";
+the metrics layer answers "how much, how often, how slow" — cheaply
+enough to leave the instrumentation compiled in everywhere.
+
+Design mirrors the tracer exactly:
+
+* **No-op fast path.**  With no registry installed, every instrumented
+  hot path (kernel dispatch, message send, WAL append) pays one
+  attribute load and one branch: components hold a reference to
+  :data:`NULL_METRICS`, whose ``enabled`` is False, and guard with
+  ``if metrics.enabled:`` before building any label kwargs.
+* **Global install.**  Experiments build their simulators deep inside
+  the harness, so callers install a registry process-wide
+  (:func:`install`); every :class:`~repro.sim.kernel.Simulator` created
+  while it is installed binds it at construction.
+  :func:`repro.obs.collect_metrics` wraps install/uninstall as a
+  context manager.
+* **Labels.**  Every instrument takes ``**labels`` (``kind=``, ``node=``,
+  ``path=``, ``dc=`` …); a labelled family renders as
+  ``name{k=v,…}`` with keys sorted, so snapshots and digests are
+  deterministic.
+
+Values are *simulated-time* quantities (latencies in simulated ms,
+counts of simulated events); the registry itself never reads a wall
+clock — harness self-observability lives in
+:mod:`repro.harness.perf` instead.
+
+Like :mod:`repro.obs.events`, this module imports nothing from the rest
+of ``repro`` so any layer can use it without cycles.  The historical
+``repro.stats.metrics.MetricsRegistry`` was promoted here; the old
+import path remains as a shim.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+
+class ValueHist:
+    """A histogram of observed values (full-sample; simulation-sized runs).
+
+    API-compatible with :class:`repro.stats.histogram.LatencyCdf` —
+    ``update``/``extend``/``count``/``percentile``/``mean`` — plus a
+    JSON-safe :meth:`summary`.
+    """
+
+    __slots__ = ("_samples",)
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+
+    def update(self, value: float) -> None:
+        self._samples.append(value)
+
+    def extend(self, values) -> None:
+        self._samples.extend(values)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    def percentile(self, p: float) -> float:
+        if not self._samples:
+            return math.nan
+        ordered = sorted(self._samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        position = (p / 100.0) * (len(ordered) - 1)
+        low = int(math.floor(position))
+        high = min(low + 1, len(ordered) - 1)
+        fraction = position - low
+        return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+    def mean(self) -> float:
+        if not self._samples:
+            return math.nan
+        return sum(self._samples) / len(self._samples)
+
+    def max(self) -> float:
+        return max(self._samples) if self._samples else math.nan
+
+    def sum(self) -> float:
+        return sum(self._samples)
+
+    def summary(self) -> Dict[str, float]:
+        """JSON-safe digest of the distribution (the snapshot shape)."""
+        return {
+            "count": self.count,
+            "mean": self.mean(),
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "max": self.max(),
+        }
+
+
+def _render(name: str, labels: Dict[str, Any]) -> str:
+    """Canonical series name: ``name`` or ``name{k=v,…}`` (keys sorted)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Counters, gauges, and labelled histograms for one collection scope.
+
+    Promoted from ``repro.stats.metrics``: the legacy per-run API
+    (``increment``/``observe_latency``/``record_point``) is preserved —
+    experiment runners still build one registry per run — and the
+    labelled facade (:meth:`inc`/:meth:`set_gauge`/:meth:`max_gauge`/
+    :meth:`observe`) is what the system-wide instrumentation uses
+    through :func:`install`.
+    """
+
+    #: Class attribute so the guard ``if metrics.enabled:`` is a plain
+    #: attribute load on both the real registry and :data:`NULL_METRICS`.
+    enabled: bool = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = defaultdict(int)
+        self._gauges: Dict[str, float] = {}
+        self._hists: Dict[str, ValueHist] = {}
+        self._series: Dict[str, List[Tuple[float, float]]] = defaultdict(list)
+        self._tracer = None
+        self._clock: Callable[[], float] = lambda: 0.0
+
+    # -- Observability adapter (legacy) ---------------------------------
+    def bind_tracer(self, tracer, clock: Callable[[], float]) -> None:
+        """Mirror counter increments and histogram samples into the obs
+        event stream (category ``metric``), timestamped by ``clock``.
+
+        The registry has no time source of its own, hence the explicit
+        clock (normally ``lambda: sim.now``); unbound registries behave
+        exactly as before.
+        """
+        self._tracer = tracer
+        self._clock = clock
+
+    # -- Counters -------------------------------------------------------
+    def inc(self, name: str, amount: float = 1, **labels: Any) -> None:
+        self._counters[_render(name, labels)] += amount
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit(self._clock(), "metric", _render(name, labels), delta=amount)
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        """Legacy unlabelled spelling of :meth:`inc`."""
+        self.inc(name, amount)
+
+    def counter(self, name: str, **labels: Any) -> float:
+        return self._counters.get(_render(name, labels), 0)
+
+    def counters(self) -> Dict[str, float]:
+        return dict(self._counters)
+
+    def counter_family(self, name: str) -> float:
+        """Sum of a counter family across all label combinations."""
+        prefix = name + "{"
+        return sum(
+            v for k, v in self._counters.items() if k == name or k.startswith(prefix)
+        )
+
+    # -- Gauges ---------------------------------------------------------
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        self._gauges[_render(name, labels)] = value
+
+    def max_gauge(self, name: str, value: float, **labels: Any) -> None:
+        """Set the gauge to ``max(current, value)`` — high-water marks."""
+        key = _render(name, labels)
+        current = self._gauges.get(key)
+        if current is None or value > current:
+            self._gauges[key] = value
+
+    def gauge(self, name: str, **labels: Any) -> Optional[float]:
+        return self._gauges.get(_render(name, labels))
+
+    def gauges(self) -> Dict[str, float]:
+        return dict(self._gauges)
+
+    def gauge_family(self, name: str) -> float:
+        """Sum of a gauge family across all label combinations."""
+        prefix = name + "{"
+        return sum(
+            v for k, v in self._gauges.items() if k == name or k.startswith(prefix)
+        )
+
+    # -- Histograms -----------------------------------------------------
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        key = _render(name, labels)
+        hist = self._hists.get(key)
+        if hist is None:
+            hist = self._hists[key] = ValueHist()
+        hist.update(value)
+        tracer = self._tracer
+        if tracer is not None and tracer.enabled:
+            tracer.emit(self._clock(), "metric", key, value_ms=value)
+
+    def hist(self, name: str, **labels: Any) -> ValueHist:
+        key = _render(name, labels)
+        hist = self._hists.get(key)
+        if hist is None:
+            hist = self._hists[key] = ValueHist()
+        return hist
+
+    # Legacy latency-collector spellings -------------------------------
+    def latency(self, name: str) -> ValueHist:
+        return self.hist(name)
+
+    def observe_latency(self, name: str, value_ms: float) -> None:
+        self.observe(name, value_ms)
+
+    def latency_names(self) -> List[str]:
+        return sorted(self._hists)
+
+    # -- Time/value series (legacy) -------------------------------------
+    def record_point(self, name: str, x: float, y: float) -> None:
+        self._series[name].append((x, y))
+
+    def series(self, name: str) -> List[Tuple[float, float]]:
+        return list(self._series.get(name, []))
+
+    # -- Whole-registry views -------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe snapshot of everything collected (the BENCH shape)."""
+        return {
+            "counters": {k: self._counters[k] for k in sorted(self._counters)},
+            "gauges": {k: self._gauges[k] for k in sorted(self._gauges)},
+            "histograms": {
+                k: self._hists[k].summary() for k in sorted(self._hists)
+            },
+        }
+
+    def digest(self) -> str:
+        """Canonical text rendering (used by determinism tests)."""
+        parts = [f"{k}={v}" for k, v in sorted(self._counters.items())]
+        parts.extend(f"{k}~{v:.6f}" for k, v in sorted(self._gauges.items()))
+        for name in self.latency_names():
+            hist = self._hists[name]
+            parts.append(
+                f"{name}:n={hist.count},p50={hist.percentile(50):.6f},"
+                f"p99={hist.percentile(99):.6f}"
+            )
+        for name in sorted(self._series):
+            points = ";".join(f"{x:.6f},{y:.6f}" for x, y in self._series[name])
+            parts.append(f"{name}:[{points}]")
+        return "|".join(parts)
+
+
+class NullMetrics(MetricsRegistry):
+    """The permanently disabled registry every component starts with.
+
+    All mutators are overridden to plain ``pass`` so a call that slips
+    through an unguarded site is still safe — but call sites should
+    guard with ``if metrics.enabled:`` and never pay the call at all.
+    """
+
+    enabled = False
+
+    def inc(self, name: str, amount: float = 1, **labels: Any) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        pass
+
+    def max_gauge(self, name: str, value: float, **labels: Any) -> None:
+        pass
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        pass
+
+    def record_point(self, name: str, x: float, y: float) -> None:
+        pass
+
+
+#: Shared disabled registry; the ``sim.metrics`` of every simulator built
+#: while no collection is installed.
+NULL_METRICS = NullMetrics()
+
+
+# ----------------------------------------------------------------------
+# Process-wide collection: one installed registry, bound by new simulators.
+# ----------------------------------------------------------------------
+_installed: Optional[MetricsRegistry] = None
+
+
+def install(registry: MetricsRegistry) -> MetricsRegistry:
+    """Start a process-wide collection: every Simulator created from now
+    on (and every harness-side instrument) records into ``registry``.
+    One collection at a time, for the same reason obs captures are
+    exclusive: nested scopes would silently cross-wire snapshots."""
+    global _installed
+    if _installed is not None:
+        raise RuntimeError("a metrics collection is already installed")
+    _installed = registry
+    return registry
+
+
+def uninstall() -> None:
+    """Stop the collection.  Already-bound simulators keep their reference
+    (their runs are usually over); new simulators bind NULL_METRICS."""
+    global _installed
+    _installed = None
+
+
+def active() -> bool:
+    return _installed is not None
+
+
+def current() -> MetricsRegistry:
+    """The installed registry, or :data:`NULL_METRICS` when none is."""
+    registry = _installed
+    return registry if registry is not None else NULL_METRICS

@@ -192,34 +192,57 @@ def _innermost(open_counts: List[int]) -> Optional[int]:
 # ----------------------------------------------------------------------
 # Rendering
 # ----------------------------------------------------------------------
-def render_profile(report: ProfileReport, width: int = 28) -> str:
-    """The "where did the milliseconds go" table for one simulator."""
+def render_profile(
+    report: ProfileReport, width: int = 28, top: Optional[int] = None
+) -> str:
+    """The "where did the milliseconds go" table for one simulator.
+
+    Two percentage columns answer different questions: ``% of run`` is the
+    attributed share of the timeline (rows sum to 100%), ``% work`` is the
+    category's share of total span-time — overlap-inclusive, so it surfaces
+    the busiest layer even when an outer category absorbs the attribution.
+    ``top`` keeps only the N largest categories (by attributed time, the
+    table's sort order) and folds the rest into one summary row.
+    """
     title = (
         f"simulated-time profile — simulator #{report.pid}, "
         f"{report.duration_ms:.1f} ms simulated"
     )
     header = (
         f"{'category':<10} {'spans':>7} {'total ms':>11} {'mean ms':>9} "
-        f"{'p99 ms':>9} {'attrib ms':>11} {'% of run':>8}  "
+        f"{'p99 ms':>9} {'attrib ms':>11} {'% of run':>8} {'% work':>7}  "
     )
     lines = [title, "-" * len(header), header, "-" * len(header)]
     duration = report.duration_ms or 1.0
-    rows = list(report.categories) + [
-        CategoryProfile(IDLE, attributed_ms=report.idle_ms)
-    ]
+    work_total = sum(c.total_ms for c in report.categories) or 1.0
+    categories = list(report.categories)
+    folded = 0
+    if top is not None and top >= 0 and len(categories) > top:
+        folded = len(categories) - top
+        categories = categories[:top]
+    rows = categories + [CategoryProfile(IDLE, attributed_ms=report.idle_ms)]
     for profile in rows:
         pct = 100.0 * profile.attributed_ms / duration
         bar = "#" * int(round(pct / 100.0 * width))
         if profile.category == IDLE:
             stats = f"{'-':>7} {'-':>11} {'-':>9} {'-':>9}"
+            work = f"{'-':>7}"
         else:
             stats = (
                 f"{profile.count:>7} {profile.total_ms:>11.1f} "
                 f"{profile.mean_ms:>9.2f} {profile.p99_ms():>9.2f}"
             )
+            work = f"{100.0 * profile.total_ms / work_total:>6.1f}%"
         lines.append(
             f"{profile.category:<10} {stats} {profile.attributed_ms:>11.1f} "
-            f"{pct:>7.1f}%  {bar}"
+            f"{pct:>7.1f}% {work}  {bar}"
+        )
+    if folded:
+        hidden = report.categories[len(categories):]
+        hidden_ms = sum(c.attributed_ms for c in hidden)
+        lines.append(
+            f"{'(+%d more)' % folded:<10} {'':>7} {'':>11} {'':>9} {'':>9} "
+            f"{hidden_ms:>11.1f} {100.0 * hidden_ms / duration:>7.1f}%"
         )
     lines.append("-" * len(header))
     total = report.attributed_total_ms

@@ -22,6 +22,7 @@ from collections import deque
 from typing import Any, Deque, Dict, List, Tuple, Union
 
 from repro.obs.events import Sink, TraceEvent
+from repro.obs.metrics import current as current_metrics
 from repro.obs.spans import Span
 
 Record = Union[TraceEvent, Span]
@@ -45,11 +46,23 @@ class FlightRecorder(Sink):
     # -- Sink ----------------------------------------------------------
     def on_event(self, event: TraceEvent) -> None:
         self.seen_events += 1
+        if len(self._records) == self.capacity:
+            self._note_eviction()
         self._records.append(event)
 
     def on_span(self, span: Span) -> None:
         self.seen_spans += 1
+        if len(self._records) == self.capacity:
+            self._note_eviction()
         self._records.append(span)
+
+    @staticmethod
+    def _note_eviction() -> None:
+        # Looked up lazily, only on the (rare) eviction path, so the
+        # recorder's hot append stays a deque push.
+        metrics = current_metrics()
+        if metrics.enabled:
+            metrics.inc("obs.recorder_evictions")
 
     # -- Introspection -------------------------------------------------
     def __len__(self) -> int:

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.obs.events import NULL_TRACER, Tracer
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 from repro.paxos.ballot import Ballot
 
 #: The distinguished counter every coordinator may use for fast rounds
@@ -28,13 +29,18 @@ class BallotGenerator:
         proposer_id: str,
         tracer: Optional[Tracer] = None,
         clock: Optional[Callable[[], float]] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.proposer_id = proposer_id
         self._counter = FAST_BALLOT_COUNTER
         self._tracer = tracer if tracer is not None else NULL_TRACER
         self._clock = clock if clock is not None else (lambda: 0.0)
+        self._metrics = metrics if metrics is not None else NULL_METRICS
 
     def fast_ballot(self) -> Ballot:
+        metrics = self._metrics
+        if metrics.enabled:
+            metrics.inc("paxos.ballots", kind="fast")
         tracer = self._tracer
         if tracer.enabled:
             tracer.emit(
@@ -45,6 +51,9 @@ class BallotGenerator:
 
     def next_classic(self) -> Ballot:
         self._counter += 1
+        metrics = self._metrics
+        if metrics.enabled:
+            metrics.inc("paxos.ballots", kind="classic")
         tracer = self._tracer
         if tracer.enabled:
             tracer.emit(

@@ -9,6 +9,8 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 
 from repro.obs.events import Tracer, new_tracer
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import current as current_metrics
 from repro.sim.events import Event, EventQueue
 from repro.sim.rng import RngRegistry
 
@@ -34,6 +36,10 @@ class Simulator:
         # or a sink is attached directly; components read it at call time
         # via their ``sim`` reference, so enabling is instant everywhere.
         self.tracer: Tracer = new_tracer()
+        # The metrics facade (repro.obs.metrics).  NULL_METRICS — one
+        # attribute load and one branch per instrumented call site — unless
+        # a collection is installed when the simulator is built.
+        self.metrics: MetricsRegistry = current_metrics()
         self._queue = EventQueue()
         self._events_processed = 0
         self._running = False
@@ -79,6 +85,10 @@ class Simulator:
             return False
         self.now = event.time
         self._events_processed += 1
+        metrics = self.metrics
+        if metrics.enabled:
+            metrics.inc("sim.events")
+            metrics.max_gauge("sim.queue_depth", float(len(self._queue)))
         tracer = self.tracer
         if tracer.enabled:
             fn = event.fn
@@ -115,6 +125,11 @@ class Simulator:
                 fired += 1
         finally:
             self._running = False
+            metrics = self.metrics
+            if metrics.enabled:
+                # Simulated horizon per simulator (summed by PerfReport for
+                # the simulated-time/wall-time ratio).
+                metrics.max_gauge("sim.now_ms", self.now, pid=self.tracer.pid)
         if until is not None and self.now < until and not self._stopped:
             self.now = until
 

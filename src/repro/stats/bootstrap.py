@@ -114,3 +114,44 @@ def mean_ci(
         confidence=confidence,
         rng=rng,
     )
+
+
+def diff_of_means_ci(
+    baseline: Sequence[float],
+    candidate: Sequence[float],
+    n_resamples: int = 1000,
+    confidence: float = 0.95,
+    rng: Optional[Random] = None,
+) -> ConfidenceInterval:
+    """Two-sample bootstrap CI of ``mean(candidate) - mean(baseline)``.
+
+    Each resample draws both groups independently with replacement, so the
+    interval reflects the noise of *both* measurements; a CI excluding zero
+    is the "beyond run-to-run noise" test ``repro bench --compare`` uses.
+    Identical constant samples collapse to the degenerate interval
+    ``[0, 0]``, which contains zero — a self-comparison is never flagged.
+    """
+    if not baseline or not candidate:
+        raise ValueError("bootstrap needs at least one sample on each side")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    if n_resamples < 10:
+        raise ValueError("n_resamples must be >= 10")
+    rng = rng if rng is not None else Random(0)
+    a = list(baseline)
+    b = list(candidate)
+    mean_a = sum(a) / len(a)
+    mean_b = sum(b) / len(b)
+    estimates = []
+    for _ in range(n_resamples):
+        ra = sum(a[rng.randrange(len(a))] for _ in range(len(a))) / len(a)
+        rb = sum(b[rng.randrange(len(b))] for _ in range(len(b))) / len(b)
+        estimates.append(rb - ra)
+    estimates.sort()
+    alpha = (1.0 - confidence) / 2.0
+    return ConfidenceInterval(
+        point=mean_b - mean_a,
+        low=_percentile(estimates, 100.0 * alpha),
+        high=_percentile(estimates, 100.0 * (1.0 - alpha)),
+        confidence=confidence,
+    )

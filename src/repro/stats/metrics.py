@@ -1,86 +1,14 @@
-"""A small metrics registry: counters, latency collectors, labelled series.
+"""Compatibility shim: the metrics registry was promoted to ``repro.obs``.
 
-Experiment runners write into one registry per run; reporting code reads it
-back out.  Keeping metrics centralised (instead of scattered over ad-hoc
-lists) is what lets the determinism property test compare whole runs.
+``MetricsRegistry`` grew gauges, labelled histograms, and a process-wide
+install (mirroring the tracer's capture) and now lives in
+:mod:`repro.obs.metrics`, next to the event bus it feeds.  This module
+keeps the historical import path working for per-run registries built by
+the harness and sessions.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Callable, Dict, List, Optional, Tuple
+from repro.obs.metrics import MetricsRegistry, ValueHist
 
-from repro.obs.events import Tracer
-from repro.stats.histogram import LatencyCdf
-
-
-class MetricsRegistry:
-    def __init__(self) -> None:
-        self._counters: Dict[str, int] = defaultdict(int)
-        self._latencies: Dict[str, LatencyCdf] = {}
-        self._series: Dict[str, List[Tuple[float, float]]] = defaultdict(list)
-        self._tracer: Optional[Tracer] = None
-        self._clock: Callable[[], float] = lambda: 0.0
-
-    # Observability adapter --------------------------------------------
-    def bind_tracer(self, tracer: Tracer, clock: Callable[[], float]) -> None:
-        """Mirror every counter increment and latency sample into the obs
-        event stream (category ``metric``), timestamped by ``clock``.
-
-        The registry has no time source of its own, hence the explicit
-        clock (normally ``lambda: sim.now``); unbound registries behave
-        exactly as before.
-        """
-        self._tracer = tracer
-        self._clock = clock
-
-    # Counters ----------------------------------------------------------
-    def increment(self, name: str, amount: int = 1) -> None:
-        self._counters[name] += amount
-        tracer = self._tracer
-        if tracer is not None and tracer.enabled:
-            tracer.emit(self._clock(), "metric", name, delta=amount)
-
-    def counter(self, name: str) -> int:
-        return self._counters.get(name, 0)
-
-    def counters(self) -> Dict[str, int]:
-        return dict(self._counters)
-
-    # Latency samples ---------------------------------------------------
-    def latency(self, name: str) -> LatencyCdf:
-        collector = self._latencies.get(name)
-        if collector is None:
-            collector = LatencyCdf()
-            self._latencies[name] = collector
-        return collector
-
-    def observe_latency(self, name: str, value_ms: float) -> None:
-        self.latency(name).update(value_ms)
-        tracer = self._tracer
-        if tracer is not None and tracer.enabled:
-            tracer.emit(self._clock(), "metric", name, value_ms=value_ms)
-
-    def latency_names(self) -> List[str]:
-        return sorted(self._latencies)
-
-    # Time/value series -------------------------------------------------
-    def record_point(self, name: str, x: float, y: float) -> None:
-        self._series[name].append((x, y))
-
-    def series(self, name: str) -> List[Tuple[float, float]]:
-        return list(self._series.get(name, []))
-
-    # Whole-run digest (used by determinism tests) ----------------------
-    def digest(self) -> str:
-        parts = [f"{k}={v}" for k, v in sorted(self._counters.items())]
-        for name in self.latency_names():
-            collector = self._latencies[name]
-            parts.append(
-                f"{name}:n={collector.count},p50={collector.percentile(50):.6f},"
-                f"p99={collector.percentile(99):.6f}"
-            )
-        for name in sorted(self._series):
-            points = ";".join(f"{x:.6f},{y:.6f}" for x, y in self._series[name])
-            parts.append(f"{name}:[{points}]")
-        return "|".join(parts)
+__all__ = ["MetricsRegistry", "ValueHist"]

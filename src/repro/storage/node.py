@@ -41,6 +41,7 @@ class StorageNode(NetworkNode):
             batch_window_ms=wal_batch_window_ms,
             tracer=sim.tracer,
             label=node_id,
+            metrics=sim.metrics,
         )
         self._handlers: Dict[Type[Message], Handler] = {}
 

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Any, List, Optional
 
 from repro.obs.events import NULL_TRACER, Tracer
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -41,6 +42,7 @@ class WriteAheadLog:
         batch_window_ms: float = 0.0,
         tracer: Optional[Tracer] = None,
         label: str = "wal",
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if sync_delay_ms < 0:
             raise ValueError("sync_delay_ms must be >= 0")
@@ -49,6 +51,7 @@ class WriteAheadLog:
         self.sync_delay_ms = sync_delay_ms
         self.batch_window_ms = batch_window_ms
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self.label = label
         self.entries: List[WalEntry] = []
         self.sync_count = 0
@@ -56,15 +59,23 @@ class WriteAheadLog:
 
     def append(self, kind: str, txid: str, payload: Any, now: float) -> float:
         """Append an entry and return the time until it is durable (ms)."""
+        metrics = self.metrics
+        synced = False
         if self.batch_window_ms == 0:
             durable_at = now + self.sync_delay_ms
             self.sync_count += 1
+            synced = True
         else:
             if now >= self._batch_flush_at - self.sync_delay_ms:
                 # No open batch (or its flush already started): open one.
                 self._batch_flush_at = now + self.batch_window_ms + self.sync_delay_ms
                 self.sync_count += 1
+                synced = True
             durable_at = self._batch_flush_at
+        if metrics.enabled:
+            metrics.inc("wal.appends", node=self.label)
+            if synced:
+                metrics.inc("wal.syncs", node=self.label)
         entry = WalEntry(
             lsn=len(self.entries),
             kind=kind,

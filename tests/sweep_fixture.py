@@ -28,9 +28,12 @@ from repro.experiments.registry import ExperimentSpec, GridPoint, PointContext
 VALUES = (1, 2, 3, 4)
 
 #: Steers ``zz_sweep_chaos``: "ok" (default), "sleep-once", "sleep-always",
-#: or "raise".  "sleep-once" also needs CHAOS_FLAG_DIR (a writable dir).
+#: "slow", or "raise".  "sleep-once" also needs CHAOS_FLAG_DIR (a writable
+#: dir); "slow" sleeps SLOW_S_VAR seconds on point p=1 only — long enough
+#: to trip a lowered straggler floor, short enough for a fast test.
 CHAOS_MODE_VAR = "SWEEP_FIXTURE_CHAOS_MODE"
 CHAOS_FLAG_DIR_VAR = "SWEEP_FIXTURE_CHAOS_FLAG_DIR"
+SLOW_S_VAR = "SWEEP_FIXTURE_SLOW_S"
 
 
 def _grid(scale: float) -> List[GridPoint]:
@@ -93,6 +96,8 @@ def _chaos_run_point(params: Dict[str, Any], ctx: PointContext) -> Dict[str, Any
         raise ValueError("chaos fixture boom")
     if mode == "sleep-always" and p == 1:
         time.sleep(120.0)
+    if mode == "slow" and p == 1:
+        time.sleep(float(os.environ.get(SLOW_S_VAR, "1.0")))
     if mode == "sleep-once":
         flag = Path(os.environ[CHAOS_FLAG_DIR_VAR]) / f"slept-p{p}"
         if not flag.exists():

@@ -1,0 +1,191 @@
+"""Tests for ``repro bench``: snapshot schema, atomic writes, the
+bootstrap-backed comparison (self-compare clean, injected regression
+flagged), degenerate documents, and the CLI exit codes."""
+
+from __future__ import annotations
+
+import copy
+import json
+import math
+
+import pytest
+
+from repro.cli import main
+from repro.harness import bench
+from repro.harness.bench import (
+    BenchFormatError,
+    BenchPoint,
+    compare_bench,
+    load_bench,
+    run_bench,
+    validate_bench,
+    write_bench,
+)
+
+from tests import sweep_fixture  # noqa: F401  (registers zz_sweep_fixture)
+
+FIXTURE_POINTS = [BenchPoint("fixture", "zz_sweep_fixture", seed=0, scale=1.0)]
+
+
+@pytest.fixture(scope="module")
+def document():
+    return run_bench(FIXTURE_POINTS, repeats=2, label="test")
+
+
+class TestRunBench:
+    def test_document_schema(self, document):
+        validate_bench(document)  # must not raise
+        assert document["schema"] == bench.SCHEMA
+        assert document["label"] == "test"
+        assert isinstance(document["git_rev"], str)
+        point = document["points"]["fixture"]
+        assert point["experiment"] == "zz_sweep_fixture"
+        assert len(point["wall_s"]) == 2
+        assert all(w >= 0 for w in point["wall_s"])
+        assert len(point["result_digest"]) == 64  # sha256 hex
+        assert point["metrics"]["counters"]["sweep.points{experiment=zz_sweep_fixture}"] == 4
+
+    def test_kernel_throughput_recorded(self, document):
+        point = document["points"]["fixture"]
+        assert len(point["kernel_events_per_sec"]) == 2
+
+    def test_write_is_atomic_and_loadable(self, document, tmp_path):
+        path = str(tmp_path / "BENCH_test.json")
+        write_bench(document, path)
+        assert not (tmp_path / "BENCH_test.json.tmp").exists()
+        loaded = load_bench(path)
+        assert loaded == json.loads(json.dumps(document))
+
+    def test_rejects_bad_repeats(self):
+        with pytest.raises(ValueError):
+            run_bench(FIXTURE_POINTS, repeats=0)
+        with pytest.raises(ValueError):
+            run_bench([], repeats=1)
+
+
+class TestValidation:
+    def test_rejects_non_object(self):
+        with pytest.raises(BenchFormatError):
+            validate_bench([1, 2, 3])
+
+    def test_rejects_wrong_schema(self, document):
+        bad = copy.deepcopy(document)
+        bad["schema"] = "repro-bench-v0"
+        with pytest.raises(BenchFormatError, match="schema"):
+            validate_bench(bad)
+
+    def test_rejects_empty_points(self, document):
+        bad = copy.deepcopy(document)
+        bad["points"] = {}
+        with pytest.raises(BenchFormatError, match="points"):
+            validate_bench(bad)
+
+    def test_rejects_missing_point_fields(self, document):
+        bad = copy.deepcopy(document)
+        del bad["points"]["fixture"]["result_digest"]
+        with pytest.raises(BenchFormatError, match="missing"):
+            validate_bench(bad)
+
+    def test_rejects_nan_wall_samples(self, document):
+        bad = copy.deepcopy(document)
+        bad["points"]["fixture"]["wall_s"] = [0.5, math.nan]
+        with pytest.raises(BenchFormatError, match="wall_s"):
+            validate_bench(bad)
+
+    def test_rejects_empty_wall_samples(self, document):
+        bad = copy.deepcopy(document)
+        bad["points"]["fixture"]["wall_s"] = []
+        with pytest.raises(BenchFormatError, match="wall_s"):
+            validate_bench(bad)
+
+    def test_load_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(BenchFormatError, match="JSON"):
+            load_bench(str(path))
+
+    def test_load_rejects_missing_file(self, tmp_path):
+        with pytest.raises(BenchFormatError, match="cannot read"):
+            load_bench(str(tmp_path / "absent.json"))
+
+
+def _regressed(document, factor=10.0):
+    slow = copy.deepcopy(document)
+    slow["label"] = "regressed"
+    for point in slow["points"].values():
+        point["wall_s"] = [w * factor for w in point["wall_s"]]
+    return slow
+
+
+class TestCompare:
+    def test_self_compare_is_clean(self, document):
+        report = compare_bench(document, document)
+        assert not report.regressions
+        (point,) = report.points
+        assert point.ci.contains(0.0)
+        assert not point.digest_changed
+
+    def test_injected_regression_is_flagged(self, document):
+        report = compare_bench(document, _regressed(document))
+        assert [p.label for p in report.regressions] == ["fixture"]
+        (point,) = report.points
+        assert point.ci.low > 0
+        assert point.ratio > 5
+
+    def test_improvement_is_not_a_regression(self, document):
+        fast = _regressed(document, factor=0.1)
+        report = compare_bench(document, fast)
+        assert not report.regressions
+        assert report.points[0].improvement
+
+    def test_mismatched_point_sets_listed_not_flagged(self, document):
+        renamed = copy.deepcopy(document)
+        renamed["points"]["renamed"] = renamed["points"].pop("fixture")
+        report = compare_bench(document, renamed)
+        assert report.only_in_base == ["fixture"]
+        assert report.only_in_new == ["renamed"]
+        assert not report.points
+        assert not report.regressions
+
+    def test_digest_change_is_reported(self, document):
+        changed = copy.deepcopy(document)
+        changed["points"]["fixture"]["result_digest"] = "0" * 64
+        report = compare_bench(document, changed)
+        assert report.points[0].digest_changed
+        assert "results changed" in report.render()
+
+    def test_render_mentions_verdicts(self, document):
+        clean = compare_bench(document, document).render()
+        assert "no regressions" in clean
+        flagged = compare_bench(document, _regressed(document)).render()
+        assert "REGRESSION" in flagged
+
+    def test_threshold_suppresses_small_slowdowns(self, document):
+        barely = _regressed(document, factor=1.02)
+        report = compare_bench(document, barely, threshold=0.05)
+        assert not report.regressions  # 2% < 5% even if CI excludes 0
+
+    def test_invalid_documents_rejected(self, document):
+        with pytest.raises(BenchFormatError):
+            compare_bench({"schema": "nope"}, document)
+
+
+class TestCli:
+    @pytest.fixture()
+    def snapshot_path(self, document, tmp_path):
+        path = str(tmp_path / "BENCH_a.json")
+        write_bench(document, path)
+        return path
+
+    def test_compare_self_exits_zero(self, snapshot_path, capsys):
+        assert main(["bench", "--compare", snapshot_path, snapshot_path]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_compare_regression_exits_nonzero(self, document, snapshot_path, tmp_path):
+        slow_path = str(tmp_path / "BENCH_slow.json")
+        write_bench(_regressed(document), slow_path)
+        assert main(["bench", "--compare", snapshot_path, slow_path]) == 1
+
+    def test_compare_bad_file_is_cli_error(self, snapshot_path, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["bench", "--compare", snapshot_path, str(tmp_path / "nope.json")])

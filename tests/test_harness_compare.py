@@ -60,3 +60,65 @@ class TestCompareRuns:
         if not empty.committed():
             with pytest.raises(ValueError):
                 compare_runs("A", a, "empty", empty)
+
+
+class _FakeTx:
+    def __init__(self, latency_ms):
+        self._latency_ms = latency_ms
+
+    def commit_latency_ms(self):
+        return self._latency_ms
+
+
+class _FakeRun:
+    """The minimal RunResult surface compare_runs touches."""
+
+    def __init__(self, latencies_ms):
+        self._txs = [_FakeTx(latency) for latency in latencies_ms]
+
+    def committed(self):
+        return self._txs
+
+
+class TestCompareEdgeCases:
+    def test_both_sides_empty_rejected(self):
+        with pytest.raises(ValueError, match="committed transactions"):
+            compare_runs("A", _FakeRun([]), "B", _FakeRun([]))
+
+    def test_one_side_empty_rejected(self):
+        with pytest.raises(ValueError, match="committed transactions"):
+            compare_runs("A", _FakeRun([10.0, 12.0]), "B", _FakeRun([]))
+
+    def test_none_latencies_filtered_then_rejected(self):
+        # Committed transactions without a measurable latency contribute no
+        # samples; all-None collapses to the empty case.
+        with pytest.raises(ValueError):
+            compare_runs("A", _FakeRun([None, None]), "B", _FakeRun([10.0]))
+
+    def test_single_sample_each_side(self):
+        comparison = compare_runs("A", _FakeRun([10.0]), "B", _FakeRun([10.0]))
+        assert comparison.difference_ci.point == 0.0
+        assert comparison.difference_ci.contains(0.0)
+        assert not comparison.significant
+
+    def test_identical_constant_runs_not_significant(self):
+        run = _FakeRun([25.0] * 8)
+        comparison = compare_runs("A", run, "B", _FakeRun([25.0] * 8))
+        assert not comparison.significant
+        assert comparison.ratio == 1.0
+
+    def test_nan_cells_do_not_crash(self):
+        # A NaN latency is pathological input; compare_runs must still
+        # produce a renderable comparison rather than raising mid-bootstrap.
+        noisy = _FakeRun([10.0, float("nan"), 12.0, 11.0])
+        clean = _FakeRun([10.0, 11.0, 12.0, 11.5])
+        comparison = compare_runs("noisy", noisy, "clean", clean)
+        assert isinstance(comparison.render(), str)
+
+    def test_clear_separation_is_significant(self):
+        fast = _FakeRun([10.0, 10.5, 11.0, 10.2, 10.8])
+        slow = _FakeRun([50.0, 51.0, 49.5, 50.5, 50.2])
+        comparison = compare_runs("fast", fast, "slow", slow)
+        assert comparison.significant
+        assert comparison.difference_ci.low > 0
+        assert comparison.ratio > 3

@@ -135,12 +135,15 @@ class TestFlightRecorder:
 
     def test_ring_buffer_eviction(self):
         recorder = FlightRecorder(capacity=10)
-        self._fill(recorder, 25)
+        with obs.collect_metrics() as metrics:
+            self._fill(recorder, 25)
         assert len(recorder) == 10
         assert recorder.seen == 25
         assert recorder.evicted == 15
         # Oldest evicted: the retained window is the last ten events.
         assert [e.fields["i"] for e in recorder.events()] == list(range(15, 25))
+        # The eviction count is also exposed through the metrics facade.
+        assert metrics.counter("obs.recorder_evictions") == 15
 
     def test_eviction_mixes_events_and_spans(self):
         recorder = FlightRecorder(capacity=4)

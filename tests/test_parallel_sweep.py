@@ -131,6 +131,58 @@ class TestSweepObservability:
         assert len(lines) == len(sweep_fixture.VALUES)
         assert all("zz_sweep_fixture" in line for line in lines)
 
+    def test_perf_report_covers_the_phases(self):
+        sweep = _sweep(jobs=1)
+        assert sweep.perf is not None
+        assert [p.name for p in sweep.perf.phases] == ["grid", "points", "reduce"]
+        assert sweep.perf.wall_s >= sweep.perf.phase_wall_s("points")
+        assert sweep.perf.summary_line().startswith("perf:")
+
+    def test_perf_kernel_throughput_with_collection(self):
+        """With a metrics collection installed, the perf report carries the
+        kernel totals: events/sec and the simulated/wall ratio."""
+        with obs.collect_metrics():
+            sweep = run_sweep(
+                "f6_commit_latency", seed=0, scale=0.05,
+                options=SweepOptions(jobs=1),
+            )
+        assert sweep.perf.kernel_events > 0
+        assert sweep.perf.events_per_sec > 0
+        assert sweep.perf.sim_wall_ratio > 0
+        assert "events/s" in sweep.perf.summary_line()
+
+    def test_worker_utilization_gauge_in_parallel_mode(self):
+        with obs.collect_metrics() as metrics:
+            _sweep(jobs=2)
+        utilization = metrics.gauge(
+            "sweep.worker_utilization", experiment="zz_sweep_fixture"
+        )
+        assert utilization is not None
+        assert 0.0 <= utilization <= 1.0
+
+    def test_straggler_reported_via_progress_and_metrics(self, monkeypatch):
+        """A lowered straggler floor lets a fast test exercise the report
+        path: p=0 returns instantly, p=1 sleeps past the threshold."""
+        monkeypatch.setenv(sweep_fixture.CHAOS_MODE_VAR, "slow")
+        monkeypatch.setenv(sweep_fixture.SLOW_S_VAR, "1.5")
+        recorder = obs.FlightRecorder()
+        lines = []
+        with obs.collect_metrics() as metrics:
+            with obs.capture(recorder, categories={"progress"}):
+                sweep = run_sweep(
+                    sweep_fixture.CHAOS_SPEC, seed=0,
+                    options=SweepOptions(
+                        jobs=2, straggler_factor=3.0, straggler_min_s=0.3,
+                        progress=lines.append,
+                    ),
+                )
+        assert sweep.result.all_checks_pass
+        stragglers = [e for e in recorder.events() if e.name == "straggler"]
+        assert [e.fields["key"] for e in stragglers] == ["p=1"]
+        assert stragglers[0].fields["wall_s"] > 0.3
+        assert metrics.counter("sweep.stragglers", experiment="zz_sweep_chaos") == 1
+        assert any("straggling" in line for line in lines)
+
 
 class TestOverridePlumbing:
     def test_overrides_reach_points_and_change_digest(self):
