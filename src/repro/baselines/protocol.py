@@ -9,7 +9,7 @@ from repro.net.messages import Message
 from repro.ops import WriteLike
 
 
-@dataclass
+@dataclass(slots=True)
 class PrimaryReadRequest(Message):
     """Strongly consistent read, served by the key's primary."""
 
@@ -17,13 +17,13 @@ class PrimaryReadRequest(Message):
     keys: Tuple[str, ...] = ()
 
 
-@dataclass
+@dataclass(slots=True)
 class PrimaryReadReply(Message):
     txid: str = ""
     results: Dict[str, Tuple[int, Any]] = field(default_factory=dict)
 
 
-@dataclass
+@dataclass(slots=True)
 class PrepareRequest(Message):
     """Coordinator -> primary: lock the record and prepare the write."""
 
@@ -32,7 +32,7 @@ class PrepareRequest(Message):
     op: WriteLike = None  # type: ignore[assignment]
 
 
-@dataclass
+@dataclass(slots=True)
 class PrepareReply(Message):
     txid: str = ""
     key: str = ""
@@ -40,7 +40,7 @@ class PrepareReply(Message):
     reason: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class BackupPrepare(Message):
     """Primary -> backup: force the prepared write to the backup's log."""
 
@@ -49,13 +49,13 @@ class BackupPrepare(Message):
     op: WriteLike = None  # type: ignore[assignment]
 
 
-@dataclass
+@dataclass(slots=True)
 class BackupAck(Message):
     txid: str = ""
     key: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class DecisionRequest(Message):
     """Coordinator -> primary: commit/abort; apply and release the lock."""
 
@@ -64,7 +64,7 @@ class DecisionRequest(Message):
     commit: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class BackupDecision(Message):
     """Primary -> backup: propagate the decided write (asynchronous).
 

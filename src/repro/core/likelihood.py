@@ -34,8 +34,10 @@ from typing import List, Optional, Sequence
 
 from repro.core.conflicts import ConflictTracker
 from repro.mdcc.coordinator import ProgressSnapshot, RecordProgress
-from repro.net.latency import LatencyModel
+from repro.net.latency import LatencyModel, _norm_ppf
 from repro.net.topology import Datacenter
+
+_SQRT2 = math.sqrt(2.0)
 
 
 @dataclass
@@ -77,13 +79,36 @@ class LikelihoodConfig:
 
 
 def poisson_binomial_tail(probabilities: Sequence[float], at_least: int) -> float:
-    """P(sum of independent Bernoulli(p_i) >= at_least), exact DP."""
+    """P(sum of independent Bernoulli(p_i) >= at_least), exact DP.
+
+    Degenerate vectors are resolved without running the DP; each early-out
+    returns the exact float the DP would have produced (0.0, 1.0, or —
+    for ``at_least == n`` — the same left-to-right product the DP
+    accumulates into ``dp[n]``), so results are bit-identical either way.
+    """
     if at_least <= 0:
         return 1.0
-    if at_least > len(probabilities):
+    n = len(probabilities)
+    if at_least > n:
         return 0.0
+    any_success = False
+    all_certain = True
+    for p in probabilities:
+        if p != 0.0:
+            any_success = True
+        if p != 1.0:
+            all_certain = False
+    if not any_success:
+        return 0.0
+    if all_certain:
+        return 1.0
+    if at_least == n:
+        result = 1.0
+        for p in probabilities:
+            result *= p
+        return result
     # dp[k] = P(exactly k successes) over the prefix processed so far.
-    dp = [1.0] + [0.0] * len(probabilities)
+    dp = [1.0] + [0.0] * n
     for p in probabilities:
         for k in range(len(dp) - 1, 0, -1):
             dp[k] = dp[k] * (1.0 - p) + dp[k - 1] * p
@@ -93,8 +118,6 @@ def poisson_binomial_tail(probabilities: Sequence[float], at_least: int) -> floa
 
 def _norm_ppf_clamped(q: float) -> float:
     """Standard normal inverse CDF, clamped away from the endpoints."""
-    from repro.net.latency import _norm_ppf
-
     return _norm_ppf(min(max(q, 1e-9), 1.0 - 1e-9))
 
 
@@ -105,7 +128,20 @@ def _lognormal_cdf(x: float, median: float, sigma: float) -> float:
     if sigma <= 0:
         return 1.0 if x >= median else 0.0
     z = (math.log(x) - math.log(median)) / sigma
-    return 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))
+    return 0.5 * (1.0 + math.erf(z / _SQRT2))
+
+
+def _lognormal_cdf_ln(x: float, ln_median: float, sigma: float) -> float:
+    """:func:`_lognormal_cdf` with ``log(median)`` precomputed (sigma > 0).
+
+    The model evaluates the CDF twice per outstanding replica against the
+    same median; caching the log halves the transcendental work without
+    changing a single bit of the result.
+    """
+    if x <= 0:
+        return 0.0
+    z = (math.log(x) - ln_median) / sigma
+    return 0.5 * (1.0 + math.erf(z / _SQRT2))
 
 
 class CommitLikelihoodModel:
@@ -127,6 +163,10 @@ class CommitLikelihoodModel:
         self.latency = latency
         self.coordinator_dc = coordinator_dc
         self.config = config if config is not None else LikelihoodConfig()
+        # (median, log(median)) of the modelled RTT per replica-DC index.
+        # Topology, coordinator placement, and the response overhead are all
+        # fixed for the model's lifetime, so these never invalidate.
+        self._rtt_params_by_dc: dict = {}
 
     # ------------------------------------------------------------------
     def _accept_probability(self, key: str) -> float:
@@ -135,8 +175,16 @@ class CommitLikelihoodModel:
         return 1.0 - self.config.static_conflict_rate
 
     def _rtt_median_ms(self, replica_dc: Datacenter) -> float:
-        one_way = self.latency.topology.one_way_ms(self.coordinator_dc, replica_dc)
-        return 2.0 * one_way + self.config.response_overhead_ms
+        return self._rtt_params(replica_dc)[0]
+
+    def _rtt_params(self, replica_dc: Datacenter) -> tuple:
+        """Cached ``(median, log(median))`` of the modelled round trip."""
+        params = self._rtt_params_by_dc.get(replica_dc.index)
+        if params is None:
+            one_way = self.latency.topology.one_way_ms(self.coordinator_dc, replica_dc)
+            median = 2.0 * one_way + self.config.response_overhead_ms
+            params = self._rtt_params_by_dc[replica_dc.index] = (median, math.log(median))
+        return params
 
     def _in_time_probability(
         self, replica_dc: Datacenter, elapsed_ms: float, remaining_ms: Optional[float]
@@ -146,16 +194,22 @@ class CommitLikelihoodModel:
             return 1.0
         if remaining_ms <= 0:
             return 0.0
-        median = self._rtt_median_ms(replica_dc)
+        median, ln_median = self._rtt_params(replica_dc)
         # A round trip is two lognormal legs; approximate the sum as a
         # lognormal with sigma scaled by 1/sqrt(2) (variance addition).
-        sigma = self.latency.jitter_sigma / math.sqrt(2.0)
-        already = _lognormal_cdf(elapsed_ms, median, sigma)
+        sigma = self.latency.jitter_sigma / _SQRT2
+        if sigma > 0:
+            already = _lognormal_cdf_ln(elapsed_ms, ln_median, sigma)
+        else:
+            already = _lognormal_cdf(elapsed_ms, median, sigma)
         if already >= 1.0 - 1e-12:
             # The response is overdue far beyond the distribution's support;
             # treat it as lost-or-slow with a pessimistic constant.
             return 0.0
-        by_deadline = _lognormal_cdf(elapsed_ms + remaining_ms, median, sigma)
+        if sigma > 0:
+            by_deadline = _lognormal_cdf_ln(elapsed_ms + remaining_ms, ln_median, sigma)
+        else:
+            by_deadline = _lognormal_cdf(elapsed_ms + remaining_ms, median, sigma)
         return max(0.0, min(1.0, (by_deadline - already) / (1.0 - already)))
 
     # ------------------------------------------------------------------
@@ -172,10 +226,15 @@ class CommitLikelihoodModel:
             return 0.0
         elapsed = max(0.0, now - record.proposed_at)
         remaining = None if deadline_at is None else deadline_at - now
-        in_time = [
-            self._in_time_probability(dc, elapsed, remaining)
-            for dc in record.outstanding_dcs
-        ]
+        if not self.config.use_deadline or remaining is None:
+            # Ingredient 3 disabled (or no deadline): every outstanding
+            # response counts in full, exactly as the per-DC calls return.
+            in_time = [1.0] * len(record.outstanding_dcs)
+        else:
+            in_time = [
+                self._in_time_probability(dc, elapsed, remaining)
+                for dc in record.outstanding_dcs
+            ]
         conflict_p = 1.0 - self._accept_probability(record.key)
 
         if self.config.correlated_conflicts:
@@ -246,7 +305,7 @@ class CommitLikelihoodModel:
     def _conditional_median_remaining_ms(self, replica_dc: Datacenter, elapsed_ms: float) -> float:
         """Median additional wait for a response that is ``elapsed_ms`` old."""
         median = self._rtt_median_ms(replica_dc)
-        sigma = self.latency.jitter_sigma / math.sqrt(2.0)
+        sigma = self.latency.jitter_sigma / _SQRT2
         if sigma <= 0:
             return max(median - elapsed_ms, 0.0)
         already = _lognormal_cdf(elapsed_ms, median, sigma)

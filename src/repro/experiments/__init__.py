@@ -26,6 +26,7 @@ reproduction (scale=1) and the pytest-benchmark harness (scale<1).
 | T3  | full TPC-W mix, per-type breakdown         | t3_tpcw_mix         |
 | A4  | WAL group commit ablation                  | a4_group_commit     |
 | T4  | YCSB core workloads summary                | t4_ycsb             |
+| MK  | kernel dispatch microbenchmark             | micro_kernel_dispatch |
 """
 
 from repro.experiments.common import ExperimentResult, ShapeCheck
@@ -52,4 +53,5 @@ ALL_EXPERIMENTS = [
     "t3_tpcw_mix",
     "a4_group_commit",
     "t4_ycsb",
+    "micro_kernel_dispatch",
 ]

@@ -1,0 +1,147 @@
+"""MK — kernel dispatch microbenchmark: the event loop with nothing on top.
+
+Every other experiment measures the simulator *plus* a protocol stack; this
+one isolates the kernel itself — heap push/pop, tie-breaking, cancellation
+accounting, daemon drain — with callbacks that do almost no work.  Its
+``kernel_events_per_sec`` in ``python -m repro bench`` is therefore the raw
+dispatch throughput, the number the hot-path optimization work is held to.
+
+The workload is deliberately adversarial for the queue rather than for the
+callbacks:
+
+* many concurrent actors rescheduling themselves with *quantized* delays,
+  so a large fraction of events collide on the same instant and exercise
+  the ``(time, seq)`` tie-break;
+* a slice of events schedules a victim and cancels it immediately,
+  exercising eager foreground-count release and lazy heap discard;
+* a periodic daemon heartbeat runs throughout, so drain detection (stop
+  when only daemons remain) is part of what is measured.
+
+The result carries a checksum folded over every dispatch, so the ResultSet
+digest pins the exact event order — a kernel "optimization" that reorders
+ties or drops events changes the digest, not just the timing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.experiments import registry
+from repro.experiments.common import ExperimentResult, ShapeCheck, scaled
+from repro.experiments.registry import ExperimentSpec, GridPoint, PointContext
+from repro.harness.report import Table
+from repro.sim.kernel import Simulator
+
+_MOD = 1_000_000_007
+_ACTORS = 64
+_CANCEL_EVERY = 16  # every Nth tick schedules-then-cancels a victim
+
+
+def _grid(scale: float) -> List[GridPoint]:
+    return [GridPoint(key="dispatch", params={"target_events": int(scaled(400_000, scale, 40_000))})]
+
+
+def _run_point(params: Dict[str, Any], ctx: PointContext) -> Dict[str, Any]:
+    target = int(params["target_events"])
+    per_actor = max(1, target // _ACTORS)
+    sim = Simulator(seed=ctx.seed)
+    rng = sim.rng.stream("micro_kernel")
+    state = {"fired": 0, "checksum": 0, "cancelled": 0, "daemon_ticks": 0}
+
+    def victim() -> None:  # pragma: no cover - cancelled before it can fire
+        state["checksum"] = (state["checksum"] * 31 + 999_983) % _MOD
+
+    def heartbeat() -> None:
+        state["daemon_ticks"] += 1
+        sim.schedule_daemon(50.0, heartbeat)
+
+    def make_actor(index: int):
+        remaining = [per_actor]
+
+        def tick() -> None:
+            state["fired"] += 1
+            state["checksum"] = (
+                state["checksum"] * 31 + index + int(sim.now * 2.0)
+            ) % _MOD
+            if state["fired"] % _CANCEL_EVERY == 0:
+                event = sim.schedule(1.0, victim)
+                event.cancel()
+                state["cancelled"] += 1
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                # Quantized delays: eight distinct half-millisecond steps,
+                # so actors constantly collide on the same instant.
+                sim.schedule(rng.randrange(0, 8) * 0.5, tick)
+
+        return tick
+
+    sim.schedule_daemon(50.0, heartbeat)
+    for index in range(_ACTORS):
+        sim.schedule(rng.randrange(0, 8) * 0.5, make_actor(index))
+    sim.run()
+    return {
+        "target_events": target,
+        "fired": state["fired"],
+        "cancelled": state["cancelled"],
+        "daemon_ticks": state["daemon_ticks"],
+        "events_processed": sim.events_processed,
+        "checksum": state["checksum"],
+        "sim_ms": sim.now,
+    }
+
+
+def _reduce(rows: List[Dict[str, Any]], ctx: PointContext) -> ExperimentResult:
+    result = ExperimentResult("MK", "Kernel dispatch microbenchmark")
+    row = rows[0]
+    table = Table(
+        "Kernel dispatch",
+        ["actor events", "cancelled", "daemon ticks", "dispatched", "checksum"],
+    )
+    table.add_row(
+        row["fired"], row["cancelled"], row["daemon_ticks"],
+        row["events_processed"], row["checksum"],
+    )
+    result.tables.append(table)
+    result.data["rows"] = rows
+    expected = _ACTORS * max(1, row["target_events"] // _ACTORS)
+    result.checks.append(
+        ShapeCheck(
+            "every scheduled actor event fired exactly once",
+            row["fired"] == expected,
+            f"fired {row['fired']} of {expected}",
+        )
+    )
+    result.checks.append(
+        ShapeCheck(
+            "cancelled victims never fired",
+            row["events_processed"] == row["fired"] + row["daemon_ticks"],
+            f"dispatched {row['events_processed']} = "
+            f"{row['fired']} actor + {row['daemon_ticks']} daemon",
+        )
+    )
+    return result
+
+
+SPEC = registry.register(
+    ExperimentSpec(
+        id="micro_kernel_dispatch",
+        figure="MK",
+        title="Kernel dispatch microbenchmark (raw event-loop throughput)",
+        module=__name__,
+        grid=_grid,
+        run_point=_run_point,
+        reduce=_reduce,
+    )
+)
+
+
+def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+    return SPEC.run(seed=seed, scale=scale)
+
+
+def main() -> None:
+    SPEC.run().print()
+
+
+if __name__ == "__main__":
+    main()

@@ -54,6 +54,7 @@ class BenchPoint:
 
 #: The tracked set: one point per engine surface worth watching.
 CURATED: List[BenchPoint] = [
+    BenchPoint("kernel_dispatch", "micro_kernel_dispatch", scale=0.1),
     BenchPoint("f6_commit", "f6_commit_latency", scale=0.1),
     BenchPoint("a2_fast_paxos", "a2_fast_paxos", scale=0.1),
     BenchPoint("s2_jitter", "s2_jitter", scale=0.1),
@@ -63,6 +64,7 @@ CURATED: List[BenchPoint] = [
 
 #: The smoke set (CI, ``--quick``): seconds, not a minute.
 QUICK: List[BenchPoint] = [
+    BenchPoint("kernel_dispatch", "micro_kernel_dispatch", scale=0.05),
     BenchPoint("f6_commit", "f6_commit_latency", scale=0.05),
     BenchPoint("a2_fast_paxos", "a2_fast_paxos", scale=0.05),
 ]
@@ -233,6 +235,17 @@ def load_bench(path: str) -> Dict[str, Any]:
 # ----------------------------------------------------------------------
 # Comparison
 # ----------------------------------------------------------------------
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    if n == 0:
+        return 0.0
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
 @dataclass
 class PointComparison:
     label: str
@@ -242,10 +255,19 @@ class PointComparison:
     regression: bool
     improvement: bool
     digest_changed: bool
+    base_events_per_sec: float = 0.0  # medians; 0.0 when a side has no samples
+    new_events_per_sec: float = 0.0
 
     @property
     def ratio(self) -> float:
         return self.new_mean_s / self.base_mean_s if self.base_mean_s > 0 else 1.0
+
+    @property
+    def events_per_sec_ratio(self) -> float:
+        """Median kernel-throughput ratio new/base (0.0 when unmeasured)."""
+        if self.base_events_per_sec <= 0 or self.new_events_per_sec <= 0:
+            return 0.0
+        return self.new_events_per_sec / self.base_events_per_sec
 
 
 @dataclass
@@ -264,7 +286,7 @@ class BenchComparison:
     def render(self) -> str:
         header = (
             f"{'point':<18} {'base s':>8} {'new s':>8} {'ratio':>7} "
-            f"{'diff CI (s)':>22}  verdict"
+            f"{'events/s':>9} {'diff CI (s)':>22}  verdict"
         )
         lines = [
             f"bench compare: {self.base_label} -> {self.new_label} "
@@ -282,9 +304,11 @@ class BenchComparison:
                 verdict = "ok"
             if p.digest_changed:
                 verdict += " (results changed)"
+            eps_ratio = p.events_per_sec_ratio
+            eps = f"{eps_ratio:>8.2f}x" if eps_ratio > 0 else f"{'—':>9}"
             lines.append(
                 f"{p.label:<18} {p.base_mean_s:>8.3f} {p.new_mean_s:>8.3f} "
-                f"{p.ratio:>6.2f}x [{p.ci.low:>+9.3f}, {p.ci.high:>+9.3f}]  "
+                f"{p.ratio:>6.2f}x {eps} [{p.ci.low:>+9.3f}, {p.ci.high:>+9.3f}]  "
                 f"{verdict}"
             )
         for label in self.only_in_base:
@@ -329,6 +353,8 @@ def compare_bench(
         mean_b = sum(walls_b) / len(walls_b)
         significant = not ci.contains(0.0)
         relative = (mean_b - mean_a) / mean_a if mean_a > 0 else 0.0
+        eps_a = [float(v) for v in base_points[label].get("kernel_events_per_sec", [])]
+        eps_b = [float(v) for v in new_points[label].get("kernel_events_per_sec", [])]
         report.points.append(
             PointComparison(
                 label=label,
@@ -341,6 +367,8 @@ def compare_bench(
                     base_points[label]["result_digest"]
                     != new_points[label]["result_digest"]
                 ),
+                base_events_per_sec=_median(eps_a),
+                new_events_per_sec=_median(eps_b),
             )
         )
     report.only_in_base = sorted(set(base_points) - set(new_points))

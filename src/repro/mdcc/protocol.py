@@ -10,7 +10,7 @@ from repro.net.messages import Message
 from repro.paxos.ballot import Ballot
 
 
-@dataclass
+@dataclass(slots=True)
 class ReadRequest(Message):
     """Batch read of committed versions, served by the local replica."""
 
@@ -18,14 +18,14 @@ class ReadRequest(Message):
     keys: Tuple[str, ...] = ()
 
 
-@dataclass
+@dataclass(slots=True)
 class ReadReply(Message):
     txid: str = ""
     # key -> (version, value)
     results: Dict[str, Tuple[int, Any]] = field(default_factory=dict)
 
 
-@dataclass
+@dataclass(slots=True)
 class Phase1a(Message):
     """Classic-path prepare for one record."""
 
@@ -34,7 +34,7 @@ class Phase1a(Message):
     ballot: Ballot = None  # type: ignore[assignment]
 
 
-@dataclass
+@dataclass(slots=True)
 class Phase1b(Message):
     txid: str = ""
     key: str = ""
@@ -42,7 +42,7 @@ class Phase1b(Message):
     promised: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class Phase2a(Message):
     """Propose an option for one record (fast path sends this directly)."""
 
@@ -52,7 +52,7 @@ class Phase2a(Message):
     option: Option = None  # type: ignore[assignment]
 
 
-@dataclass
+@dataclass(slots=True)
 class Phase2b(Message):
     """A replica's vote on one record's option."""
 
@@ -63,7 +63,7 @@ class Phase2b(Message):
     reason: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class DecisionMessage(Message):
     """Coordinator -> all replicas: commit or abort; apply/discard options."""
 
@@ -72,14 +72,14 @@ class DecisionMessage(Message):
     options: Tuple[Option, ...] = ()
 
 
-@dataclass
+@dataclass(slots=True)
 class SyncDigest(Message):
     """Anti-entropy: sender's committed version per key it knows."""
 
     versions: Dict[str, int] = field(default_factory=dict)
 
 
-@dataclass
+@dataclass(slots=True)
 class SyncUpdates(Message):
     """Anti-entropy reply: per key, the (version, value, txid) triples the
     digest sender is missing (or only the latest snapshot if the responder's
@@ -89,7 +89,7 @@ class SyncUpdates(Message):
     updates: Dict[str, Tuple[Tuple[int, Any, str], ...]] = field(default_factory=dict)
 
 
-@dataclass
+@dataclass(slots=True)
 class TxStatusQuery(Message):
     """Replica -> replicas: orphan recovery — what happened to this tx?"""
 
@@ -97,7 +97,7 @@ class TxStatusQuery(Message):
     key: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class TxStatusReply(Message):
     """Answer to a status query.
 

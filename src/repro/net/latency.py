@@ -71,6 +71,10 @@ class LatencyModel:
         self._windows: List[DegradationWindow] = []
         # E[lognormal(mu, sigma)] = exp(mu + sigma^2/2); choose mu so mean == 1.
         self._jitter_mu = -0.5 * jitter_sigma * jitter_sigma
+        # Base one-way latency per (src, dst) index pair.  The topology is
+        # immutable for the model's lifetime, so the division in
+        # ``one_way_ms`` needs to happen once per link, not once per message.
+        self._base_one_way: dict = {}
 
     # ------------------------------------------------------------------
     def add_window(self, window: DegradationWindow) -> None:
@@ -86,12 +90,16 @@ class LatencyModel:
     # ------------------------------------------------------------------
     def sample_ms(self, src: Datacenter, dst: Datacenter, now: float, rng: Random) -> float:
         """One-way latency for a message sent now from ``src`` to ``dst``."""
-        base = self.topology.one_way_ms(src, dst)
+        key = (src.index, dst.index)
+        base = self._base_one_way.get(key)
+        if base is None:
+            base = self._base_one_way[key] = self.topology.one_way_ms(src, dst)
         if self.jitter_sigma > 0:
             base *= math.exp(rng.gauss(self._jitter_mu, self.jitter_sigma))
-        for window in self._windows:
-            if window.active(now) and window.matches(src, dst):
-                base = base * window.multiplier + window.extra_ms
+        if self._windows:
+            for window in self._windows:
+                if window.active(now) and window.matches(src, dst):
+                    base = base * window.multiplier + window.extra_ms
         return max(base, self.min_latency_ms)
 
     def quantile_ms(self, src: Datacenter, dst: Datacenter, q: float) -> float:

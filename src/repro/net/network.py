@@ -80,26 +80,33 @@ class Network:
 
     # ------------------------------------------------------------------
     def send(self, sender_id: str, recipient_id: str, message: Message) -> None:
-        """Send ``message``; it is delivered later (or dropped) by the kernel."""
+        """Send ``message``; it is delivered later (or dropped) by the kernel.
+
+        The fully-disabled path (no metrics, no tracer, no partitions, no
+        loss) allocates nothing beyond the delivery event itself.
+        """
+        sim = self.sim
+        now = sim.now
         sender = self._nodes[sender_id]
         recipient = self._nodes[recipient_id]
         message.sender = sender_id
         message.recipient = recipient_id
-        message.sent_at = self.sim.now
+        message.sent_at = now
         self.messages_sent += 1
-        tracer = self.sim.tracer
-        metrics = self.sim.metrics
+        tracer = sim.tracer
+        metrics = sim.metrics
         if metrics.enabled:
-            metrics.inc("net.messages_sent", kind=message.kind)
-            metrics.inc("net.bytes_sent", message.approx_size_bytes(), kind=message.kind)
+            kind = message.kind
+            metrics.inc("net.messages_sent", kind=kind)
+            metrics.inc("net.bytes_sent", message.approx_size_bytes(), kind=kind)
 
-        if self.partitions.drops(self.sim.now, sender.datacenter, recipient.datacenter):
+        if self.partitions.drops(now, sender.datacenter, recipient.datacenter):
             self.messages_dropped += 1
             if metrics.enabled:
                 metrics.inc("net.messages_dropped", cause="partition")
             if tracer.enabled:
                 tracer.emit(
-                    self.sim.now, "message", "drop",
+                    now, "message", "drop",
                     kind=message.kind, src=sender_id, dst=recipient_id, cause="partition",
                 )
             return
@@ -109,45 +116,47 @@ class Network:
                 metrics.inc("net.messages_dropped", cause="loss")
             if tracer.enabled:
                 tracer.emit(
-                    self.sim.now, "message", "drop",
+                    now, "message", "drop",
                     kind=message.kind, src=sender_id, dst=recipient_id, cause="loss",
                 )
             return
 
         delay = self.latency.sample_ms(
-            sender.datacenter, recipient.datacenter, self.sim.now, self._rng
+            sender.datacenter, recipient.datacenter, now, self._rng
         )
         if tracer.enabled:
             tracer.emit(
-                self.sim.now, "message", "send",
+                now, "message", "send",
                 kind=message.kind, src=sender_id, dst=recipient_id, delay_ms=delay,
             )
-        self.sim.schedule(delay, self._deliver, recipient_id, message)
+        sim.schedule(delay, self._deliver, recipient_id, message)
 
     def _deliver(self, recipient_id: str, message: Message) -> None:
+        sim = self.sim
         node = self._nodes.get(recipient_id)
-        tracer = self.sim.tracer
-        metrics = self.sim.metrics
         if node is None:  # node may have been torn down mid-flight
             self.messages_dropped += 1
+            metrics = sim.metrics
             if metrics.enabled:
                 metrics.inc("net.messages_dropped", cause="gone")
+            tracer = sim.tracer
             if tracer.enabled:
                 tracer.emit(
-                    self.sim.now, "message", "drop",
+                    sim.now, "message", "drop",
                     kind=message.kind, src=message.sender, dst=recipient_id, cause="gone",
                 )
             return
         self.messages_delivered += 1
+        metrics = sim.metrics
         if metrics.enabled:
-            metrics.inc("net.messages_delivered", kind=message.kind)
-            metrics.observe(
-                "net.flight_ms", self.sim.now - message.sent_at, kind=message.kind
-            )
+            kind = message.kind
+            metrics.inc("net.messages_delivered", kind=kind)
+            metrics.observe("net.flight_ms", sim.now - message.sent_at, kind=kind)
+        tracer = sim.tracer
         if tracer.enabled:
             # One completed span per delivered message: its wide-area flight.
             tracer.span(
-                message.sent_at, self.sim.now, "message", message.kind,
+                message.sent_at, sim.now, "message", message.kind,
                 track=f"net:{recipient_id}", src=message.sender, dst=recipient_id,
             )
         node.receive(message)

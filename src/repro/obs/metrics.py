@@ -100,9 +100,16 @@ class ValueHist:
 
 
 def _render(name: str, labels: Dict[str, Any]) -> str:
-    """Canonical series name: ``name`` or ``name{k=v,…}`` (keys sorted)."""
+    """Canonical series name: ``name`` or ``name{k=v,…}`` (keys sorted).
+
+    The single-label case — the overwhelming majority of hot-path calls
+    (``kind=``, ``node=``) — skips the sort and generator machinery.
+    """
     if not labels:
         return name
+    if len(labels) == 1:
+        for k, v in labels.items():
+            return f"{name}{{{k}={v}}}"
     inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
     return f"{name}{{{inner}}}"
 
@@ -144,10 +151,11 @@ class MetricsRegistry:
 
     # -- Counters -------------------------------------------------------
     def inc(self, name: str, amount: float = 1, **labels: Any) -> None:
-        self._counters[_render(name, labels)] += amount
+        key = _render(name, labels) if labels else name
+        self._counters[key] += amount
         tracer = self._tracer
         if tracer is not None and tracer.enabled:
-            tracer.emit(self._clock(), "metric", _render(name, labels), delta=amount)
+            tracer.emit(self._clock(), "metric", key, delta=amount)
 
     def increment(self, name: str, amount: int = 1) -> None:
         """Legacy unlabelled spelling of :meth:`inc`."""
@@ -172,7 +180,7 @@ class MetricsRegistry:
 
     def max_gauge(self, name: str, value: float, **labels: Any) -> None:
         """Set the gauge to ``max(current, value)`` — high-water marks."""
-        key = _render(name, labels)
+        key = _render(name, labels) if labels else name
         current = self._gauges.get(key)
         if current is None or value > current:
             self._gauges[key] = value
@@ -192,7 +200,7 @@ class MetricsRegistry:
 
     # -- Histograms -----------------------------------------------------
     def observe(self, name: str, value: float, **labels: Any) -> None:
-        key = _render(name, labels)
+        key = _render(name, labels) if labels else name
         hist = self._hists.get(key)
         if hist is None:
             hist = self._hists[key] = ValueHist()

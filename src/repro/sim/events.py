@@ -1,10 +1,17 @@
-"""Event objects and the time-ordered event queue."""
+"""Event objects and the time-ordered event queue.
+
+Hot-path note: the heap stores ``(time, seq, Event)`` tuples rather than
+bare events, so ``heapq`` orders entries by comparing tuples entirely in
+C — no call back into :meth:`Event.__lt__` per sift step.  At tens of
+thousands of heap operations per simulated second that comparison was
+the kernel's single largest cost.
+"""
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 
 class Event:
@@ -20,7 +27,7 @@ class Event:
     remain.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled", "daemon")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "daemon", "_queue")
 
     def __init__(
         self, time: float, seq: int, fn: Callable[..., Any], args: tuple,
@@ -32,10 +39,25 @@ class Event:
         self.args = args
         self.cancelled = False
         self.daemon = daemon
+        self._queue: Optional["EventQueue"] = None
 
     def cancel(self) -> None:
-        """Prevent the event from firing (it stays in the heap until popped)."""
+        """Prevent the event from firing.
+
+        The entry stays in the heap until its fire time tops the queue, but
+        the owning queue's foreground count is released *now*, so drain
+        detection never waits on a dead event.  Cancelling twice — or
+        cancelling an event that already fired (``_queue`` is detached at
+        pop time) — is a no-op.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        queue = self._queue
+        if queue is not None:
+            queue._live -= 1
+            if not self.daemon:
+                queue._foreground -= 1
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -49,52 +71,58 @@ class Event:
 class EventQueue:
     """Binary-heap priority queue of :class:`Event` ordered by fire time.
 
-    Tracks the number of pending non-daemon events so the simulator can
-    drain "real" work without being kept alive by periodic background
-    daemons.
+    Tracks the number of pending non-daemon, non-cancelled events so the
+    simulator can drain "real" work without being kept alive by periodic
+    background daemons.
     """
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: List[Tuple[float, int, Event]] = []
         self._counter = itertools.count()
-        self._foreground = 0  # pending non-daemon events (incl. cancelled)
+        self._foreground = 0  # pending non-daemon, non-cancelled events
+        self._live = 0  # pending non-cancelled events (cancelled heap
+        #                 entries linger until lazily discarded, so the
+        #                 heap's length overcounts)
 
     def __len__(self) -> int:
-        return len(self._heap)
+        """Events that can still fire — not raw heap entries."""
+        return self._live
 
     @property
     def foreground_count(self) -> int:
-        """Pending non-daemon events (cancelled ones may be overcounted
-        until they are lazily discarded, which only delays — never prevents —
-        drain detection)."""
+        """Pending non-daemon events (cancelled ones are released at
+        :meth:`Event.cancel` time, so this is exact)."""
         return self._foreground
 
     def push(
         self, time: float, fn: Callable[..., Any], args: tuple = (), daemon: bool = False
     ) -> Event:
         event = Event(time, next(self._counter), fn, args, daemon=daemon)
-        heapq.heappush(self._heap, event)
+        event._queue = self
+        heapq.heappush(self._heap, (time, event.seq, event))
+        self._live += 1
         if not daemon:
             self._foreground += 1
         return event
 
-    def _discard(self, event: Event) -> None:
-        if not event.daemon:
-            self._foreground -= 1
-
     def pop(self) -> Optional[Event]:
         """Pop the earliest non-cancelled event, or None if the queue is empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            self._discard(event)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[2]
             if not event.cancelled:
+                event._queue = None  # a late cancel() must not re-release
+                self._live -= 1
+                if not event.daemon:
+                    self._foreground -= 1
                 return event
         return None
 
     def peek_time(self) -> Optional[float]:
         """Fire time of the earliest pending event, or None."""
-        while self._heap and self._heap[0].cancelled:
-            self._discard(heapq.heappop(self._heap))
-        if self._heap:
-            return self._heap[0].time
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+        if heap:
+            return heap[0][0]
         return None
