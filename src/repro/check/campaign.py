@@ -1,0 +1,306 @@
+"""Fault campaigns: N seeded fault schedules, each checked for consistency.
+
+A campaign generalises the chaos test's single :func:`~repro.faults
+.chaos_plan` run into a registered experiment (``check_campaign``) the
+parallel sweep executor can fan out: the grid has one point per schedule,
+each point derives its own seed, draws a :func:`~repro.faults
+.campaign_plan` (spikes, partitions, loss windows, at most one crash),
+runs a mixed workload under history capture, and runs the offline checker
+on the result.  The reduce step folds the per-schedule rows into a triage
+report: pass/fail, the first failing schedule, and a **replayable plan** —
+a JSON document ``python -m repro check replay`` re-executes bit-for-bit
+(the history digest is compared across two runs to prove it).
+
+Campaign knobs travel through the sweep's override channel under a
+``check.`` prefix (they are campaign parameters, not PlanetConfig fields):
+``check.duration_ms``, ``check.intensity``, ``check.broken`` (enable the
+seeded quorum-check mutation — the checker must catch it).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.experiments import registry
+from repro.experiments.common import ExperimentResult, ShapeCheck
+from repro.experiments.registry import ExperimentSpec, GridPoint, PointContext
+from repro.harness.report import Table
+
+EXPERIMENT_ID = "check_campaign"
+PLAN_FORMAT = "repro.check/plan-v1"
+
+#: Schedules at scale 1.0 (``--scale`` multiplies this).
+BASE_SCHEDULES = 50
+
+DEFAULT_DURATION_MS = 6_000.0
+DEFAULT_INTENSITY = 1.0
+
+#: Transactions per schedule, scaled with duration.
+TXS_PER_6S = 120
+
+
+def run_schedule(
+    seed: int,
+    duration_ms: float = DEFAULT_DURATION_MS,
+    intensity: float = DEFAULT_INTENSITY,
+    broken: bool = False,
+    plan=None,
+) -> Dict[str, Any]:
+    """Run one fault schedule under history capture and check it.
+
+    ``plan`` overrides the seed-derived :func:`~repro.faults.campaign_plan`
+    — that is how replay re-executes a *stored* plan even if the drawing
+    code later changes.  Returns a JSON-safe row (the sweep contract).
+    """
+    from repro.check.checker import CheckerConfig, check_history
+    from repro.check.history import HistoryRecorder
+    from repro.cluster import Cluster, ClusterConfig
+    from repro.core.session import PlanetConfig, PlanetSession
+    from repro.faults import campaign_plan
+
+    cluster = Cluster(
+        ClusterConfig(
+            seed=seed,
+            jitter_sigma=0.2,
+            option_ttl_ms=400.0,
+            anti_entropy_interval_ms=500.0,
+            unsafe_skip_quorum_check=broken,
+        )
+    )
+    cluster.load({"counter": 0})
+    if plan is None:
+        plan = campaign_plan(
+            cluster.datacenter_names, duration_ms, seed=seed, intensity=intensity
+        )
+    recorder = HistoryRecorder().attach(cluster.sim)
+    plan.apply(cluster)
+
+    # Alternate session guarantees across DCs so every campaign exercises
+    # both the read-your-writes machinery and plain sessions; guesses on so
+    # the apology invariant has something to check.
+    sessions = {}
+    for index, dc in enumerate(cluster.datacenter_names):
+        sessions[dc] = PlanetSession(
+            cluster,
+            dc,
+            config=PlanetConfig(
+                read_your_writes=(index % 2 == 0),
+                default_guess_threshold=0.85,
+            ),
+        )
+
+    rng = cluster.sim.rng.stream("campaign-load")
+    dc_names = cluster.datacenter_names
+    n_txs = max(10, int(round(TXS_PER_6S * duration_ms / 6_000.0)))
+    for i in range(n_txs):
+        session = sessions[dc_names[i % len(dc_names)]]
+        kind = rng.random()
+        if kind < 0.3:
+            tx = session.transaction().increment(
+                "counter", rng.choice((-1, 1, 2)), floor=-10_000
+            )
+        elif kind < 0.55:
+            tx = session.transaction().write(f"k{rng.randrange(30)}", i)
+        elif kind < 0.8:
+            # Read-modify-write on one key: the bread and butter of the
+            # per-record serializability and lost-update checks.
+            key = f"k{rng.randrange(30)}"
+            tx = session.transaction().read(key).write(key, i)
+        else:
+            tx = session.transaction().read(f"k{rng.randrange(30)}")
+        tx.with_timeout(2_000.0)
+        cluster.sim.schedule(rng.uniform(0.0, duration_ms), session.submit, tx)
+    cluster.run()
+    cluster.settle(3_000.0)
+
+    history = recorder.history()
+    recorder.detach(cluster.sim)
+    violations = check_history(history, CheckerConfig.for_plan(plan))
+    return {
+        "seed": seed,
+        "plan": plan.to_dict(),
+        "plan_text": plan.describe(),
+        "txs": n_txs,
+        "ops": len(history),
+        "digest": history.digest(),
+        "violations": [v.to_dict() for v in violations],
+        "broken": bool(broken),
+    }
+
+
+# ----------------------------------------------------------------------
+# The registered experiment.
+# ----------------------------------------------------------------------
+def _campaign_params(ctx: PointContext) -> Dict[str, Any]:
+    overrides = ctx.overrides
+    return {
+        "duration_ms": float(overrides.get("check.duration_ms", DEFAULT_DURATION_MS)),
+        "intensity": float(overrides.get("check.intensity", DEFAULT_INTENSITY)),
+        "broken": str(overrides.get("check.broken", "")).lower()
+        in ("1", "true", "yes"),
+    }
+
+
+def _grid(scale: float) -> List[GridPoint]:
+    n = max(1, int(round(BASE_SCHEDULES * scale)))
+    return [
+        GridPoint(key=f"s{index:04d}", params={"index": index})
+        for index in range(n)
+    ]
+
+
+def _run_point(params: Dict[str, Any], ctx: PointContext) -> Dict[str, Any]:
+    knobs = _campaign_params(ctx)
+    row = run_schedule(
+        ctx.seed,
+        duration_ms=knobs["duration_ms"],
+        intensity=knobs["intensity"],
+        broken=knobs["broken"],
+    )
+    row["index"] = int(params["index"])
+    return row
+
+
+def _reduce(rows: List[Dict[str, Any]], ctx: PointContext) -> ExperimentResult:
+    knobs = _campaign_params(ctx)
+    failing = [row for row in rows if row["violations"]]
+    total_violations = sum(len(row["violations"]) for row in rows)
+
+    table = Table(
+        f"Campaign triage ({len(rows)} schedules, "
+        f"{knobs['duration_ms']:.0f}ms @ intensity {knobs['intensity']:g})",
+        ["schedule", "seed", "faults", "ops", "violations", "first violation"],
+    )
+    for row in failing[:20]:
+        first = row["violations"][0]
+        table.add_row(
+            f"s{row['index']:04d}",
+            row["seed"],
+            row["plan_text"],
+            row["ops"],
+            len(row["violations"]),
+            f"{first['invariant']}: {first['detail']}",
+        )
+    if not failing:
+        table.add_row(
+            "(all)", "-", "-", sum(row["ops"] for row in rows), 0, "none"
+        )
+
+    result = ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title="repro.check randomized fault campaign",
+        tables=[table],
+    )
+    result.checks.append(
+        ShapeCheck(
+            name="no_violations",
+            passed=not failing,
+            detail=(
+                f"{len(failing)}/{len(rows)} schedules violated invariants "
+                f"({total_violations} total violations)"
+                if failing
+                else f"all {len(rows)} schedules clean"
+            ),
+        )
+    )
+    data: Dict[str, Any] = {
+        "schedules": len(rows),
+        "failing_schedules": len(failing),
+        "total_violations": total_violations,
+        "duration_ms": knobs["duration_ms"],
+        "intensity": knobs["intensity"],
+        "broken": knobs["broken"],
+    }
+    if failing:
+        # Minimal failing schedule (lowest grid index) with its replayable
+        # plan — the triage handle: save it, then `repro check replay`.
+        minimal = min(failing, key=lambda row: row["index"])
+        data["min_failing_index"] = minimal["index"]
+        data["min_failing_seed"] = minimal["seed"]
+        data["replay_plan"] = plan_payload(
+            seed=minimal["seed"],
+            duration_ms=knobs["duration_ms"],
+            intensity=knobs["intensity"],
+            broken=knobs["broken"],
+            plan_dict=minimal["plan"],
+        )
+        data["violations"] = minimal["violations"]
+    result.data = data
+    return result
+
+
+registry.register(
+    ExperimentSpec(
+        id=EXPERIMENT_ID,
+        figure="CHK",
+        title="repro.check: randomized fault campaign + consistency checker",
+        module="repro.check.campaign",
+        grid=_grid,
+        run_point=_run_point,
+        reduce=_reduce,
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# Replayable plan files.
+# ----------------------------------------------------------------------
+def plan_payload(
+    seed: int,
+    duration_ms: float,
+    intensity: float,
+    broken: bool,
+    plan_dict: Dict[str, Any],
+) -> Dict[str, Any]:
+    return {
+        "format": PLAN_FORMAT,
+        "seed": int(seed),
+        "duration_ms": float(duration_ms),
+        "intensity": float(intensity),
+        "broken": bool(broken),
+        "plan": plan_dict,
+    }
+
+
+def write_plan(path: str, payload: Dict[str, Any]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_plan(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("format") != PLAN_FORMAT:
+        raise ValueError(
+            f"{path}: not a campaign plan file "
+            f"(format {payload.get('format')!r}, expected {PLAN_FORMAT!r})"
+        )
+    return payload
+
+
+def replay(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Re-execute a stored plan twice; check it and prove determinism.
+
+    Returns the first run's row plus ``digest_stable`` — whether two
+    back-to-back executions produced byte-identical history digests.
+    """
+    from repro.faults import FaultPlan
+    from repro.ops import reset_txid_counter
+
+    def once() -> Dict[str, Any]:
+        reset_txid_counter()
+        return run_schedule(
+            seed=int(payload["seed"]),
+            duration_ms=float(payload["duration_ms"]),
+            intensity=float(payload["intensity"]),
+            broken=bool(payload.get("broken", False)),
+            plan=FaultPlan.from_dict(payload["plan"]),
+        )
+
+    first = once()
+    second = once()
+    first["digest_stable"] = first["digest"] == second["digest"]
+    first["second_digest"] = second["digest"]
+    return first

@@ -1,0 +1,442 @@
+"""The offline consistency checker: invariants over a captured history.
+
+Given the :class:`~repro.check.history.History` of one run, the checker
+verifies every invariant that is *decidable from the client-visible
+operation stream alone* — no peeking at replica state:
+
+* **Per-record serializability** of committed transactions (Adya-style,
+  restricted to single records): committed writes of a record install a
+  contiguous version chain with no two commits claiming the same version
+  (write-order), and every read returns a version some committed write
+  installed or the initial version (anti-dependency).  The restriction to
+  single records is deliberate — MDCC serves reads from the local replica,
+  so a *cross*-record dependency graph of a perfectly healthy run contains
+  cycles that are allowed by the paper's per-record isolation model and
+  would false-positive a full DSG check.
+* **Session guarantees**: monotonic reads always; read-your-writes for
+  sessions configured with it (the begin record carries the flag).
+* **MDCC option acceptance**: no two committed options for the same
+  record *and* version (the duplicate-version check above), and every
+  commit decision quorum-backed — the engine-decision metadata must show
+  ``accepts >= quorum`` for every record of a committed transaction.
+* **PLANET guess/apology soundness**: at most one guess per transaction;
+  a wrong guess (guessed, then aborted) earns exactly one apology; a
+  correct guess (guessed, then committed) earns none.
+
+Two checks are *configuration-gated* because fault plans can legitimately
+falsify them:
+
+* ``expect_decided`` — with a crashed coordinator, its in-flight
+  transactions never decide (the crash eats the timeout timer too);
+* ``check_version_chain`` — replica-side orphan recovery may complete a
+  crashed coordinator's transactions whose clients never heard the
+  outcome, punching legitimate holes in the client-visible version chain.
+
+:meth:`CheckerConfig.for_plan` derives the right gating from a
+:class:`~repro.faults.FaultPlan`.
+
+Independent of the gating, version-chain and read-validity checks skip any
+key written by a transaction with an *unknown durable outcome*: one that
+never decided, or aborted for a reason that does not prove its options
+were never chosen (``timeout``, ``client``, ``ballot``).  Under message
+loss, orphan recovery can legitimately complete such a transaction as
+committed after its live coordinator gave up — an install no client ever
+saw.  ``conflict`` (quorum provably impossible) and ``admission`` (never
+reached the engine) aborts are durable, so their keys stay strictly
+checked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.check.history import History, HistoryOp
+
+#: Abort reasons that prove the transaction's options were never chosen:
+#: ``conflict`` means a commit quorum was provably impossible, ``admission``
+#: (and 2PC's ``lock_timeout``) means the engine never accepted options.
+#: Any other abort may race an orphan-recovery completion (see module
+#: docstring).
+DURABLE_ABORT_REASONS = frozenset({"conflict", "admission", "lock_timeout"})
+
+#: Invariant identifiers, as they appear in ``Violation.invariant``.
+INVARIANTS = (
+    "decided",                     # every begun tx reaches commit/abort
+    "duplicate-committed-version", # two committed options for one (key, version)
+    "version-chain-gap",           # committed versions not contiguous
+    "read-validity",               # read returned a version no commit installed
+    "monotonic-reads",             # session read went backwards
+    "read-your-writes",            # session missed its own committed write
+    "quorum",                      # commit decision without a quorum of accepts
+    "guess-soundness",             # >1 guess for one transaction
+    "apology-soundness",           # wrong guess without exactly one apology
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach, with enough context to triage it."""
+
+    invariant: str
+    detail: str
+    txid: str = ""
+    key: str = ""
+    session: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "invariant": self.invariant,
+            "detail": self.detail,
+            "txid": self.txid,
+            "key": self.key,
+            "session": self.session,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Violation":
+        return cls(
+            invariant=str(payload["invariant"]),
+            detail=str(payload["detail"]),
+            txid=str(payload.get("txid", "")),
+            key=str(payload.get("key", "")),
+            session=str(payload.get("session", "")),
+        )
+
+
+@dataclass(frozen=True)
+class CheckerConfig:
+    """Which configuration-gated checks to run (see module docstring)."""
+
+    expect_decided: bool = True
+    check_version_chain: bool = True
+
+    @classmethod
+    def for_plan(cls, plan) -> "CheckerConfig":
+        """Gate checks a :class:`~repro.faults.FaultPlan` can falsify.
+
+        Only coordinator crashes weaken what is checkable: they strand
+        undecided transactions and let orphan recovery commit invisibly.
+        Partitions, loss windows, spikes and *replica* crashes leave every
+        decision client-visible, so the full checker applies.
+        """
+        crashed = bool(getattr(plan, "coordinator_crashes", ())) if plan else False
+        return cls(expect_decided=not crashed, check_version_chain=not crashed)
+
+
+class _TxState:
+    """Everything the checker accumulates about one transaction."""
+
+    __slots__ = (
+        "session", "ryw", "begun", "mono_floors", "ryw_floors", "writes",
+        "write_keys", "guesses", "apologies", "outcome", "abort_reason",
+    )
+
+    def __init__(self) -> None:
+        self.session = ""
+        self.ryw = False
+        self.begun = False
+        # Per-key floor snapshots taken at begin (see forward scan).
+        self.mono_floors: Dict[str, int] = {}
+        self.ryw_floors: Dict[str, int] = {}
+        self.writes: List[Dict[str, Any]] = []
+        self.write_keys: List[str] = []  # declared write set, from begin
+        self.guesses = 0
+        self.apologies = 0
+        self.outcome: Optional[str] = None  # "committed" / "aborted" / None
+        self.abort_reason = ""
+
+
+def check_history(
+    history: History, config: Optional[CheckerConfig] = None
+) -> List[Violation]:
+    """Run every (enabled) invariant over ``history``; return violations.
+
+    An empty list means the run is consistent as far as the client-visible
+    history can tell.  Violations are returned in a deterministic order —
+    stream-order findings first, then per-key findings sorted by key.
+    """
+    config = config if config is not None else CheckerConfig()
+    violations: List[Violation] = []
+    txs: Dict[str, _TxState] = {}
+
+    # Per-session floors, advanced during the forward scan.  ``monotonic``
+    # is the highest version the session has *read*; ``ryw`` the lowest
+    # version a later read must see because the session committed a write.
+    monotonic: Dict[str, Dict[str, int]] = {}
+    ryw: Dict[str, Dict[str, int]] = {}
+
+    # Engine decision metadata, collected for the quorum invariant.
+    engine_decisions: List[HistoryOp] = []
+
+    def tx_state(txid: str) -> _TxState:
+        state = txs.get(txid)
+        if state is None:
+            state = txs[txid] = _TxState()
+        return state
+
+    # ------------------------------------------------------------------
+    # Forward scan: emission order is causal order, so session floors at
+    # any point reflect exactly the operations that happened before it.
+    # ------------------------------------------------------------------
+    for op in history:
+        kind = op.kind
+        if kind == "begin":
+            state = tx_state(op.txid)
+            state.begun = True
+            state.session = op.session
+            state.ryw = bool(op.fields.get("ryw", False))
+            wkeys = str(op.fields.get("wkeys", ""))
+            state.write_keys = [key for key in wkeys.split(",") if key]
+            # Snapshot the floors: reads of this tx must respect what the
+            # session had observed/committed *before* the tx began.  Using
+            # a begin-time snapshot keeps concurrent same-session
+            # transactions from imposing floors on each other.
+            state.mono_floors = dict(monotonic.get(op.session, ()))
+            if state.ryw:
+                state.ryw_floors = dict(ryw.get(op.session, ()))
+        elif kind == "read":
+            state = tx_state(op.txid)
+            key = str(op.fields.get("key", ""))
+            version = int(op.fields.get("version", -1))
+            if version < 0:
+                continue  # engine without version tracking
+            mono_floor = state.mono_floors.get(key, -1)
+            ryw_floor = state.ryw_floors.get(key, -1)
+            if version < mono_floor:
+                violations.append(
+                    Violation(
+                        invariant="monotonic-reads",
+                        detail=(
+                            f"read {key}@v{version} but the session had "
+                            f"already read v{mono_floor} when {op.txid} began"
+                        ),
+                        txid=op.txid,
+                        key=key,
+                        session=state.session,
+                    )
+                )
+            elif version < ryw_floor:
+                violations.append(
+                    Violation(
+                        invariant="read-your-writes",
+                        detail=(
+                            f"read {key}@v{version} but the session had "
+                            f"committed v{ryw_floor} before {op.txid} began"
+                        ),
+                        txid=op.txid,
+                        key=key,
+                        session=state.session,
+                    )
+                )
+            session_floors = monotonic.setdefault(state.session, {})
+            if version > session_floors.get(key, -1):
+                session_floors[key] = version
+        elif kind == "write":
+            tx_state(op.txid).writes.append(dict(op.fields))
+        elif kind == "guess":
+            tx_state(op.txid).guesses += 1
+        elif kind == "commit":
+            state = tx_state(op.txid)
+            state.outcome = "committed"
+            # Read-your-writes watermark: a committed WriteOp installed
+            # read_version + 1; later reads of this session must see it.
+            if state.ryw:
+                session_floors = ryw.setdefault(state.session, {})
+                for write in state.writes:
+                    if write.get("kind") != "w":
+                        continue
+                    read_version = int(write.get("read_version", -1))
+                    if read_version < 0:
+                        continue
+                    key = str(write.get("key", ""))
+                    installed = read_version + 1
+                    if installed > session_floors.get(key, -1):
+                        session_floors[key] = installed
+        elif kind == "abort":
+            state = tx_state(op.txid)
+            state.outcome = "aborted"
+            state.abort_reason = str(op.fields.get("reason", ""))
+        elif kind == "apology":
+            tx_state(op.txid).apologies += 1
+        elif kind == "engine_decision":
+            engine_decisions.append(op)
+
+    # ------------------------------------------------------------------
+    # Per-transaction invariants.
+    # ------------------------------------------------------------------
+    for txid, state in txs.items():
+        if not state.begun:
+            continue
+        if state.outcome is None and config.expect_decided:
+            violations.append(
+                Violation(
+                    invariant="decided",
+                    detail=f"{txid} began but never committed or aborted",
+                    txid=txid,
+                    session=state.session,
+                )
+            )
+        if state.guesses > 1:
+            violations.append(
+                Violation(
+                    invariant="guess-soundness",
+                    detail=f"{txid} guessed {state.guesses} times",
+                    txid=txid,
+                    session=state.session,
+                )
+            )
+        expected_apologies = (
+            1 if state.guesses >= 1 and state.outcome == "aborted" else 0
+        )
+        if state.apologies != expected_apologies:
+            violations.append(
+                Violation(
+                    invariant="apology-soundness",
+                    detail=(
+                        f"{txid} ({'guessed' if state.guesses else 'not guessed'}, "
+                        f"{state.outcome or 'undecided'}) got {state.apologies} "
+                        f"apologies, expected {expected_apologies}"
+                    ),
+                    txid=txid,
+                    session=state.session,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Per-record invariants over committed writes and reads.
+    # ------------------------------------------------------------------
+    committed_w: Dict[str, List[Tuple[int, str]]] = {}   # key -> [(rv, txid)]
+    delta_keys: Set[str] = set()
+    reads_by_key: Dict[str, List[Tuple[int, str]]] = {}  # key -> [(v, txid)]
+
+    # Keys a transaction with unknown durable outcome declared writes on:
+    # orphan recovery may have installed those writes invisibly, so the
+    # chain/read-validity checks must not treat the client-visible commits
+    # as the complete write history of the key.
+    unknown_outcome_keys: Set[str] = set()
+    for state in txs.values():
+        if not state.begun or state.outcome == "committed":
+            continue
+        if (
+            state.outcome == "aborted"
+            and state.abort_reason in DURABLE_ABORT_REASONS
+        ):
+            continue
+        unknown_outcome_keys.update(state.write_keys)
+
+    for txid, state in txs.items():
+        if state.outcome != "committed":
+            continue
+        for write in state.writes:
+            key = str(write.get("key", ""))
+            if write.get("kind") == "w":
+                read_version = int(write.get("read_version", -1))
+                if read_version >= 0:
+                    committed_w.setdefault(key, []).append((read_version, txid))
+            else:
+                # Escrow deltas commute: they intentionally do not stamp a
+                # version, so version-chain reasoning is off for the key.
+                delta_keys.add(key)
+    for op in history.by_kind("read"):
+        version = int(op.fields.get("version", -1))
+        if version >= 0:
+            key = str(op.fields.get("key", ""))
+            reads_by_key.setdefault(key, []).append((version, op.txid))
+
+    for key in sorted(committed_w):
+        writes = sorted(committed_w[key])
+        # Write-order: no two committed options for one (record, version).
+        by_version: Dict[int, List[str]] = {}
+        for read_version, txid in writes:
+            by_version.setdefault(read_version, []).append(txid)
+        for read_version, txids in sorted(by_version.items()):
+            if len(txids) > 1:
+                violations.append(
+                    Violation(
+                        invariant="duplicate-committed-version",
+                        detail=(
+                            f"{len(txids)} transactions committed {key}@v"
+                            f"{read_version + 1} (lost update): {', '.join(txids)}"
+                        ),
+                        key=key,
+                        txid=txids[0],
+                    )
+                )
+        if (
+            config.check_version_chain
+            and key not in delta_keys
+            and key not in unknown_outcome_keys
+        ):
+            versions = sorted(by_version)
+            for prev, nxt in zip(versions, versions[1:]):
+                if nxt != prev + 1:
+                    violations.append(
+                        Violation(
+                            invariant="version-chain-gap",
+                            detail=(
+                                f"{key} committed read-versions jump "
+                                f"v{prev} -> v{nxt}"
+                            ),
+                            key=key,
+                        )
+                    )
+
+    if config.check_version_chain:
+        for key in sorted(reads_by_key):
+            if key in delta_keys or key in unknown_outcome_keys:
+                continue
+            observed = sorted({version for version, _ in reads_by_key[key]})
+            writes = committed_w.get(key)
+            if writes:
+                low = min(read_version for read_version, _ in writes)
+                high = max(read_version for read_version, _ in writes) + 1
+                for version, txid in reads_by_key[key]:
+                    if not (low <= version <= high):
+                        violations.append(
+                            Violation(
+                                invariant="read-validity",
+                                detail=(
+                                    f"read {key}@v{version} outside committed "
+                                    f"range v{low}..v{high}"
+                                ),
+                                txid=txid,
+                                key=key,
+                            )
+                        )
+            elif len(observed) > 1:
+                # Never written during the run: every read must return the
+                # same (initial) version.
+                violations.append(
+                    Violation(
+                        invariant="read-validity",
+                        detail=(
+                            f"{key} was never written yet reads returned "
+                            f"{len(observed)} distinct versions {observed}"
+                        ),
+                        key=key,
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # Quorum backing of commit decisions (engine metadata).
+    # ------------------------------------------------------------------
+    for op in engine_decisions:
+        if str(op.fields.get("outcome", "")) != "committed":
+            continue
+        accepts = int(op.fields.get("accepts", 0))
+        quorum = int(op.fields.get("quorum", 0))
+        if accepts < quorum:
+            violations.append(
+                Violation(
+                    invariant="quorum",
+                    detail=(
+                        f"{op.txid} committed {op.fields.get('key', '?')} with "
+                        f"{accepts}/{quorum} accepts"
+                    ),
+                    txid=op.txid,
+                    key=str(op.fields.get("key", "")),
+                )
+            )
+
+    return violations

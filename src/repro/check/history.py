@@ -1,0 +1,196 @@
+"""History capture: the client-visible operation log of one run.
+
+The PLANET layer emits one ``history`` obs event per client-visible
+operation (see ``docs/checking.md`` for the schema).  A
+:class:`HistoryRecorder` subscribes to a simulator's tracer, keeps those
+events as compact :class:`HistoryOp` records in arrival order, and hands
+back an immutable :class:`History` the offline checker consumes.
+
+The recorder attaches *directly* to one simulator's tracer rather than
+through the process-wide obs capture, so a campaign worker can record its
+own cluster's history while (or without) a global capture is installed —
+the two compose instead of fighting over the one-capture-at-a-time slot.
+
+Like the flight recorder's digest, :meth:`History.digest` canonicalises
+counter-minted identifiers (``tx-17`` → ``tx#0`` by first appearance), so
+two runs of the same seeded schedule produce byte-identical digests even
+though the process-global txid counter differs between them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.obs.events import Sink, TraceEvent
+
+#: Operation kinds a history may contain, in no particular order.  The
+#: ``engine_decision`` kind is engine metadata (per-record vote counts at
+#: decision time) rather than a client-visible operation; the checker uses
+#: it for the quorum-backing invariant.
+OP_KINDS = (
+    "begin", "read", "write", "guess", "commit", "abort", "apology",
+    "engine_decision",
+)
+
+_COUNTER_ID = re.compile(r"\b([A-Za-z]+)-(\d+)\b")
+
+
+@dataclass(frozen=True)
+class HistoryOp:
+    """One recorded operation: *at time t, transaction tx did kind*.
+
+    ``session`` is empty for operations with no session attribution
+    (``engine_decision``).  ``fields`` carries the kind-specific payload
+    (key/version for reads, read_version for writes, reason for aborts…).
+    """
+
+    time_ms: float
+    kind: str
+    txid: str
+    session: str = ""
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "time_ms": self.time_ms,
+            "kind": self.kind,
+            "txid": self.txid,
+            "session": self.session,
+            "fields": dict(self.fields),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "HistoryOp":
+        return cls(
+            time_ms=float(payload["time_ms"]),
+            kind=str(payload["kind"]),
+            txid=str(payload["txid"]),
+            session=str(payload.get("session", "")),
+            fields=dict(payload.get("fields", {})),
+        )
+
+
+class History:
+    """An ordered, immutable-by-convention sequence of :class:`HistoryOp`.
+
+    Order is emission order, which in a discrete-event run is causal
+    order: same-instant operations appear in the order the code performed
+    them (a commit precedes the begin of a follow-up transaction issued
+    from its callback).  The checker leans on this — session-guarantee
+    floors are maintained by a single forward scan.
+    """
+
+    def __init__(self, ops: Optional[List[HistoryOp]] = None) -> None:
+        self.ops: List[HistoryOp] = list(ops) if ops is not None else []
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self) -> Iterator[HistoryOp]:
+        return iter(self.ops)
+
+    # -- convenience views ---------------------------------------------
+    def by_kind(self, kind: str) -> List[HistoryOp]:
+        return [op for op in self.ops if op.kind == kind]
+
+    def txids(self) -> List[str]:
+        """Transaction ids in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for op in self.ops:
+            if op.txid not in seen:
+                seen[op.txid] = None
+        return list(seen)
+
+    def sessions(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for op in self.ops:
+            if op.session and op.session not in seen:
+                seen[op.session] = None
+        return list(seen)
+
+    # -- serialisation --------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {"ops": [op.to_dict() for op in self.ops]}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "History":
+        return cls([HistoryOp.from_dict(op) for op in payload.get("ops", [])])
+
+    # -- determinism digest --------------------------------------------
+    def digest(self) -> str:
+        """SHA-256 over the canonical serialisation of the operations.
+
+        Counter-minted identifiers are renamed to first-appearance
+        ordinals and floats formatted at fixed precision, so the digest is
+        a function of run *behaviour* only — same seeded schedule, same
+        digest, regardless of process history or worker placement.
+        """
+        renames: Dict[str, str] = {}
+
+        def canon_id(match: "re.Match[str]") -> str:
+            token = match.group(0)
+            renamed = renames.get(token)
+            if renamed is None:
+                renamed = f"{match.group(1)}#{len(renames)}"
+                renames[token] = renamed
+            return renamed
+
+        def canon(value: Any) -> str:
+            text = f"{value:.6f}" if isinstance(value, float) else str(value)
+            return _COUNTER_ID.sub(canon_id, text)
+
+        hasher = hashlib.sha256()
+        for op in self.ops:
+            parts = [canon(op.time_ms), op.kind, canon(op.txid), canon(op.session)]
+            parts.extend(f"{key}={canon(op.fields[key])}" for key in sorted(op.fields))
+            hasher.update("|".join(parts).encode("utf-8"))
+            hasher.update(b"\n")
+        return hasher.hexdigest()
+
+
+class HistoryRecorder(Sink):
+    """Obs sink turning ``history`` events into a :class:`History`.
+
+    Attach to one simulator with :meth:`attach` (or pass it to
+    ``obs.capture`` / ``tracer.add_sink`` yourself); events of other
+    categories are ignored, so the recorder composes with wider captures.
+    """
+
+    def __init__(self) -> None:
+        self._ops: List[HistoryOp] = []
+
+    # -- Sink ----------------------------------------------------------
+    def on_event(self, event: TraceEvent) -> None:
+        if event.category != "history":
+            return
+        fields = dict(event.fields)
+        txid = str(fields.pop("txid", ""))
+        session = str(fields.pop("session", ""))
+        self._ops.append(
+            HistoryOp(
+                time_ms=event.time_ms,
+                kind=event.name,
+                txid=txid,
+                session=session,
+                fields=fields,
+            )
+        )
+
+    # -- wiring --------------------------------------------------------
+    def attach(self, sim) -> "HistoryRecorder":
+        """Subscribe to ``sim``'s tracer for ``history`` events only."""
+        sim.tracer.add_sink(self, categories=("history",))
+        return self
+
+    def detach(self, sim) -> None:
+        sim.tracer.remove_sink(self)
+
+    # -- results -------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def history(self) -> History:
+        return History(list(self._ops))

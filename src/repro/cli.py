@@ -9,6 +9,8 @@ Usage::
     python -m repro run f6 --profile          # where did the milliseconds go
     python -m repro run --all [--scale 0.3]
     python -m repro trace f6 --out f6.json    # Chrome trace_event capture
+    python -m repro check campaign --schedules 50 --jobs 4
+    python -m repro check replay plan.json    # re-run a saved fault plan
 
 Experiment ids accept unambiguous prefixes (``f6`` → ``f6_commit_latency``);
 discovery and prefix matching live in :mod:`repro.experiments.registry`.
@@ -191,6 +193,76 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_check_campaign(args: argparse.Namespace) -> int:
+    from repro.check import campaign
+    from repro.harness.parallel import SweepOptions, run_sweep
+
+    # Campaign knobs travel on the override channel under the ``check.``
+    # prefix; they are campaign parameters, not PlanetConfig fields, so
+    # they bypass _parse_overrides validation by construction.
+    overrides = {
+        "check.duration_ms": str(args.duration_ms),
+        "check.intensity": str(args.intensity),
+    }
+    if args.broken:
+        overrides["check.broken"] = "1"
+    scale = args.scale
+    if args.schedules is not None:
+        if args.schedules < 1:
+            raise SystemExit("--schedules must be >= 1")
+        scale = args.schedules / campaign.BASE_SCHEDULES
+    sweep = run_sweep(
+        registry.get(campaign.EXPERIMENT_ID),
+        seed=args.seed,
+        scale=scale,
+        overrides=overrides,
+        options=SweepOptions(
+            jobs=args.jobs,
+            progress=lambda message: print(message, file=sys.stderr),
+        ),
+    )
+    result = sweep.result
+    result.print()
+    print(
+        f"[campaign] {len(sweep.result_set.points)} schedule(s), "
+        f"jobs={sweep.jobs}, {sweep.wall_s:.1f}s wall",
+        file=sys.stderr,
+    )
+    if not result.all_checks_pass and args.save_plan is not None:
+        campaign.write_plan(args.save_plan, result.data["replay_plan"])
+        print(
+            f"wrote minimal failing plan (schedule s{result.data['min_failing_index']:04d}) "
+            f"to {args.save_plan}; replay with: python -m repro check replay "
+            f"{args.save_plan}"
+        )
+    return 0 if result.all_checks_pass else 1
+
+
+def cmd_check_replay(args: argparse.Namespace) -> int:
+    from repro.check import campaign
+
+    try:
+        payload = campaign.load_plan(args.plan)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"check replay: {exc}") from exc
+    row = campaign.replay(payload)
+    print(
+        f"replayed plan: seed={row['seed']} "
+        f"duration={payload['duration_ms']:.0f}ms "
+        f"intensity={payload['intensity']:g} broken={row['broken']}"
+    )
+    print(f"faults: {row['plan_text']}")
+    print(f"{row['txs']} transactions, {row['ops']} history ops")
+    print(f"history digest: {row['digest']}")
+    stable = row["digest_stable"]
+    print(f"digest byte-stable across two runs: {stable}")
+    violations = row["violations"]
+    print(f"violations: {len(violations)}")
+    for violation in violations:
+        print(f"  [{violation['invariant']}] {violation['detail']}")
+    return 0 if stable and not violations else 1
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     spec = _resolve_spec(args.experiment)
     overrides = _parse_overrides(args.set)
@@ -347,6 +419,70 @@ def build_parser() -> argparse.ArgumentParser:
         "CI) to count as a regression (default: 0.05)",
     )
     bench_parser.set_defaults(func=cmd_bench)
+
+    check_parser = subparsers.add_parser(
+        "check",
+        help="history-based consistency checking: fault campaigns and plan "
+        "replay (see docs/checking.md)",
+    )
+    check_sub = check_parser.add_subparsers(dest="check_command", required=True)
+    campaign_parser = check_sub.add_parser(
+        "campaign",
+        help="run N seeded fault schedules, checking each run's history",
+    )
+    campaign_parser.add_argument("--seed", type=int, default=0)
+    campaign_parser.add_argument(
+        "--schedules",
+        type=int,
+        default=None,
+        metavar="N",
+        help="number of fault schedules (default: 50; overrides --scale)",
+    )
+    campaign_parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="schedule-count scale factor (1.0 = 50 schedules)",
+    )
+    campaign_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes to shard schedules across",
+    )
+    campaign_parser.add_argument(
+        "--duration-ms",
+        type=float,
+        default=6_000.0,
+        help="simulated workload duration per schedule (default: 6000)",
+    )
+    campaign_parser.add_argument(
+        "--intensity",
+        type=float,
+        default=1.0,
+        help="fault intensity multiplier (default: 1.0)",
+    )
+    campaign_parser.add_argument(
+        "--broken",
+        action="store_true",
+        help="enable the seeded quorum-check mutation (checker validation: "
+        "the campaign MUST fail)",
+    )
+    campaign_parser.add_argument(
+        "--save-plan",
+        metavar="PATH",
+        default=None,
+        help="on failure, write the minimal failing schedule's replayable "
+        "plan JSON to PATH",
+    )
+    campaign_parser.set_defaults(func=cmd_check_campaign)
+    replay_parser = check_sub.add_parser(
+        "replay",
+        help="re-execute a saved fault plan twice, re-check it, and verify "
+        "the history digest is byte-stable",
+    )
+    replay_parser.add_argument("plan", help="path to a campaign plan JSON file")
+    replay_parser.set_defaults(func=cmd_check_replay)
 
     trace_parser = subparsers.add_parser(
         "trace",

@@ -37,6 +37,8 @@ class ClusterConfig:
     default_value: object = 0
     # MDCC knobs
     use_fast_path: bool = True
+    # Test-only seeded fault for checker validation (see MdccConfig).
+    unsafe_skip_quorum_check: bool = False
     # 2PC knobs
     lock_wait_timeout_ms: float = 1000.0
     # Engine-level default transaction deadline (None = no deadline)
@@ -82,6 +84,7 @@ class Cluster:
         )
         self.storage_nodes: Dict[str, StorageNode] = {}
         self.coordinators: Dict[str, object] = {}
+        self._session_counters: Dict[str, int] = {}
         self._build()
 
     # ------------------------------------------------------------------
@@ -113,6 +116,7 @@ class Cluster:
             engine_config = MdccConfig(
                 use_fast_path=self.config.use_fast_path,
                 default_deadline_ms=self.config.default_deadline_ms,
+                unsafe_skip_quorum_check=self.config.unsafe_skip_quorum_check,
             )
             for dc in self.topology:
                 self.coordinators[dc.name] = MdccCoordinator(
@@ -151,6 +155,24 @@ class Cluster:
         if not hasattr(coordinator, "crash"):
             raise RuntimeError(f"engine {self.config.engine!r} has no crash support")
         coordinator.crash()
+
+    def crash_replica(self, dc_name: str) -> None:
+        """Fail-stop the storage replica in one data center.
+
+        The node neither receives nor sends from now on; the surviving
+        replicas continue as an n-1 cluster (fast quorum of 5 is 4, so one
+        replica crash leaves commits reachable)."""
+        self.storage_nodes[dc_name].crash()
+
+    def next_session_id(self, dc_name: str) -> str:
+        """Mint a cluster-unique session id, stable across runs.
+
+        Per-DC counters rather than a global one so the id stream of one
+        DC's sessions does not depend on the construction order of other
+        DCs' sessions."""
+        n = self._session_counters.get(dc_name, 0)
+        self._session_counters[dc_name] = n + 1
+        return f"{dc_name}/s{n}"
 
     def storage_node(self, dc_name: str) -> StorageNode:
         return self.storage_nodes[dc_name]

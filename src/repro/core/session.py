@@ -110,6 +110,12 @@ class PlanetSession:
             max_delays=self.config.admission_max_delays,
             rng=self.sim.rng.stream(f"admission:{dc_name}"),
         )
+        # Stable per-cluster session identity, recorded on every history
+        # event so the offline checker can verify per-session guarantees.
+        next_session_id = getattr(cluster, "next_session_id", None)
+        self.session_id = (
+            next_session_id(dc_name) if next_session_id is not None else f"{dc_name}/s0"
+        )
         self.calibration_first_vote = CalibrationBins()
         self.calibration_at_guess = CalibrationBins()
         self.finished: List[PlanetTransaction] = []
@@ -139,6 +145,20 @@ class PlanetSession:
         gm = self.sim.metrics
         if gm.enabled:
             gm.inc("planet.submitted", dc=self.dc_name)
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            # ``wkeys`` is the declared write set (comma-joined, sorted).
+            # The checker needs it for transactions that never reach a
+            # decision record — their writes may have installed invisibly
+            # (orphan recovery), so their keys are excused from strict
+            # version-chain checking.
+            tracer.emit(
+                self.sim.now, "history", "begin",
+                txid=tx.txid, session=self.session_id,
+                ryw=self.config.read_your_writes,
+                reads=len(tx.reads), writes=len(tx.writes),
+                wkeys=",".join(sorted(op.key for op in tx.writes)),
+            )
         self._attempt_admission(tx, previous_delays=0)
         return tx
 
@@ -252,6 +272,13 @@ class PlanetSession:
         gm = self.sim.metrics
         if gm.enabled:
             gm.inc("planet.admission_rejections", dc=self.dc_name)
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.emit(
+                now, "history", "abort",
+                txid=tx.txid, session=self.session_id,
+                reason=AbortReason.ADMISSION.value,
+            )
         self.finished.append(tx)
         tx.callbacks.fire_abort(tx)
         tx.waiter.wake(tx.decision)

@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.stages import SPANNED_STAGES, TxStage
 from repro.core.transaction import PlanetTransaction
-from repro.ops import Decision, TxEvents, TxRequest
+from repro.ops import Decision, TxEvents, TxRequest, WriteOp
 
 
 class SpeculationManager(TxEvents):
@@ -49,6 +49,19 @@ class SpeculationManager(TxEvents):
     # ------------------------------------------------------------------
     def on_reads_complete(self, request: TxRequest, now: float) -> None:
         self.tx.read_results.update(request.read_results)
+        tracer = self.session.sim.tracer
+        if tracer.enabled:
+            # One client-visible read per key, with the version actually
+            # served (engines without version tracking report -1; the
+            # checker skips those).  Sorted for a deterministic stream.
+            session_id = getattr(self.session, "session_id", "")
+            versions = request.read_versions
+            for key in sorted(request.read_results):
+                tracer.emit(
+                    now, "history", "read",
+                    txid=self.tx.txid, session=session_id,
+                    key=key, version=versions.get(key, -1),
+                )
 
     def on_commit_started(self, request: TxRequest, now: float) -> None:
         self.tx.transition(TxStage.PENDING, now)
@@ -82,6 +95,12 @@ class SpeculationManager(TxEvents):
                 tracer.emit(
                     now, "stage", "guess", txid=self.tx.txid, likelihood=likelihood
                 )
+                tracer.emit(
+                    now, "history", "guess",
+                    txid=self.tx.txid,
+                    session=getattr(self.session, "session_id", ""),
+                    likelihood=likelihood,
+                )
             self.tx.callbacks.fire_guess(self.tx, likelihood)
 
     def on_decided(self, request: TxRequest, decision: Decision) -> None:
@@ -94,6 +113,44 @@ class SpeculationManager(TxEvents):
         else:
             tx.transition(TxStage.ABORTED, now)
         self.note_stage(tx.stage, now)
+        tracer = self.session.sim.tracer
+        if tracer.enabled:
+            # History ordering contract: a committed transaction's writes
+            # precede its commit record, and both precede anything a commit
+            # callback does (session bookkeeping runs before callbacks, so
+            # a follow-up transaction's begin lands after this commit).
+            session_id = getattr(self.session, "session_id", "")
+            if decision.committed:
+                for op in tx.writes:
+                    if isinstance(op, WriteOp):
+                        tracer.emit(
+                            now, "history", "write",
+                            txid=tx.txid, session=session_id, key=op.key,
+                            kind="w",
+                            read_version=(
+                                -1 if op.read_version is None else op.read_version
+                            ),
+                        )
+                    else:
+                        tracer.emit(
+                            now, "history", "write",
+                            txid=tx.txid, session=session_id, key=op.key,
+                            kind="delta", delta=op.delta, floor=op.floor,
+                        )
+                tracer.emit(
+                    now, "history", "commit", txid=tx.txid, session=session_id
+                )
+            else:
+                tracer.emit(
+                    now, "history", "abort",
+                    txid=tx.txid, session=session_id, reason=decision.reason.value,
+                )
+                if was_guessed:
+                    # The wrong-guess compensation is the paper's apology;
+                    # the checker holds it to exactly-once per wrong guess.
+                    tracer.emit(
+                        now, "history", "apology", txid=tx.txid, session=session_id
+                    )
         # Session bookkeeping (conflict stats, read-your-writes watermarks,
         # metrics) runs BEFORE user callbacks: a callback that immediately
         # issues a follow-up transaction must observe this one's effects.

@@ -1,0 +1,27 @@
+"""``repro.faults`` — declarative, serialisable fault plans.
+
+Historically a single module; now a package so campaign-oriented plan
+types (replica crashes, message-loss windows, :func:`campaign_plan`) live
+beside the original chaos machinery.  Everything importable from the old
+``repro.faults`` module remains importable from here.
+"""
+
+from repro.faults.plans import (
+    CoordinatorCrash,
+    FaultPlan,
+    MessageLossWindow,
+    Partition,
+    ReplicaCrash,
+    campaign_plan,
+    chaos_plan,
+)
+
+__all__ = [
+    "CoordinatorCrash",
+    "FaultPlan",
+    "MessageLossWindow",
+    "Partition",
+    "ReplicaCrash",
+    "campaign_plan",
+    "chaos_plan",
+]

@@ -39,10 +39,16 @@ class MdccConfig:
     wide-area round trip, fast quorum).  When False the coordinator runs a
     classic prepare round first (two round trips, majority quorum) — the
     ablation knob for experiment A2.
+
+    ``unsafe_skip_quorum_check``: test-only mutation seeded for the
+    consistency checker's own validation — commit as soon as every record
+    has a *single* accept instead of a quorum.  Deliberately breaks the
+    option-acceptance invariant; never enable outside checker tests.
     """
 
     use_fast_path: bool = True
     default_deadline_ms: Optional[float] = None
+    unsafe_skip_quorum_check: bool = False
 
 
 @dataclass
@@ -367,6 +373,15 @@ class MdccCoordinator(NetworkNode):
                 accepts=tracker.accepts, rejects=tracker.rejects,
             )
         tx.events.on_vote(tx.request, msg.key, msg.accepted, self.sim.now)
+        if self.config.unsafe_skip_quorum_check:
+            # Seeded fault: treat one accept per record as "chosen".  The
+            # checker's quorum-backing invariant must flag every commit
+            # decided down here.
+            if all(t.accepts >= 1 for t in tx.trackers.values()):
+                self._decide(tx, Outcome.COMMITTED, AbortReason.NONE)
+            elif tracker.doomed:
+                self._decide(tx, Outcome.ABORTED, AbortReason.CONFLICT)
+            return
         if tracker.doomed:
             self._decide(tx, Outcome.ABORTED, AbortReason.CONFLICT)
         elif all(t.chosen for t in tx.trackers.values()):
@@ -416,6 +431,18 @@ class MdccCoordinator(NetworkNode):
                 self.sim.now, "tx", "decision",
                 txid=tx.request.txid, outcome=outcome.value, reason=reason.value,
             )
+            # Engine metadata for the checker's quorum-backing invariant:
+            # the per-record vote tally the decision was based on.
+            # Insertion order of ``trackers`` (write order) keeps the
+            # stream deterministic.
+            for key, quorum_tracker in tx.trackers.items():
+                tracer.emit(
+                    self.sim.now, "history", "engine_decision",
+                    txid=tx.request.txid, key=key, outcome=outcome.value,
+                    accepts=quorum_tracker.accepts,
+                    rejects=quorum_tracker.rejects,
+                    quorum=quorum_tracker.quorum,
+                )
         decision = Decision(
             txid=tx.request.txid, outcome=outcome, reason=reason, decided_at=self.sim.now
         )

@@ -6,7 +6,7 @@ from typing import Callable, Dict, Optional
 
 from repro.net.latency import LatencyModel
 from repro.net.messages import Message
-from repro.net.partitions import PartitionManager
+from repro.net.partitions import LossWindow, PartitionManager
 from repro.net.topology import Datacenter, Topology
 from repro.sim.kernel import Simulator
 
@@ -58,6 +58,7 @@ class Network:
         self.latency = latency if latency is not None else LatencyModel(topology)
         self.loss_probability = loss_probability
         self.partitions = PartitionManager()
+        self._loss_windows: list = []
         self._nodes: Dict[str, NetworkNode] = {}
         self._rng = sim.rng.stream("network")
         self.messages_sent = 0
@@ -71,6 +72,10 @@ class Network:
         self._nodes[node.node_id] = node
         node.network = self
         return node
+
+    def add_loss_window(self, window: LossWindow) -> None:
+        """Schedule a timed burst of inter-DC message loss."""
+        self._loss_windows.append(window)
 
     def node(self, node_id: str) -> NetworkNode:
         return self._nodes[node_id]
@@ -110,7 +115,17 @@ class Network:
                     kind=message.kind, src=sender_id, dst=recipient_id, cause="partition",
                 )
             return
-        if self.loss_probability > 0 and self._rng.random() < self.loss_probability:
+        loss = self.loss_probability
+        if self._loss_windows:
+            for window in self._loss_windows:
+                if window.rate > loss and window.applies(
+                    now, sender.datacenter, recipient.datacenter
+                ):
+                    loss = window.rate
+        # A single rng draw per potentially-lossy send keeps the "network"
+        # stream identical between a run with no windows and the historical
+        # zero-loss fast path.
+        if loss > 0 and self._rng.random() < loss:
             self.messages_dropped += 1
             if metrics.enabled:
                 metrics.inc("net.messages_dropped", cause="loss")

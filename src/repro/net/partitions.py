@@ -36,6 +36,32 @@ class PartitionWindow:
         return src.name != dst.name  # intra-DC traffic always survives
 
 
+@dataclass(frozen=True)
+class LossWindow:
+    """During ``[start_ms, end_ms)``, inter-DC messages drop with ``rate``.
+
+    If ``dc_name`` is given, only links touching that DC are lossy.
+    Intra-DC traffic is never affected: a loss window models a flaky
+    wide-area path, not a broken rack, and (deliberately) cannot hide a
+    coordinator's decision from its *local* replica — which keeps the
+    consistency checker's invariants decidable under loss campaigns.
+    """
+
+    start_ms: float
+    end_ms: float
+    rate: float
+    dc_name: Optional[str] = None
+
+    def applies(self, now: float, src: Datacenter, dst: Datacenter) -> bool:
+        if not (self.start_ms <= now < self.end_ms):
+            return False
+        if src.name == dst.name:
+            return False
+        if self.dc_name is not None and self.dc_name not in (src.name, dst.name):
+            return False
+        return True
+
+
 class PartitionManager:
     """Holds the partition schedule and answers "does this message die?"."""
 

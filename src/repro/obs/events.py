@@ -76,6 +76,7 @@ CATEGORIES: Tuple[str, ...] = (
     "wal",        # WAL sync / group-commit durability windows
     "admission",  # admission-control admit / delay / reject
     "tx",         # transaction-level instants (submit, decide)
+    "history",    # client-visible operation history (repro.check)
     "metric",     # MetricsRegistry counter/latency adapter
     "sweep",      # sweep executor point lifecycle (deterministic fields only)
     "progress",   # sweep wall-clock progress / stragglers (non-deterministic)

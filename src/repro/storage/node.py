@@ -44,13 +44,30 @@ class StorageNode(NetworkNode):
             metrics=sim.metrics,
         )
         self._handlers: Dict[Type[Message], Handler] = {}
+        self.crashed = False
 
     def register_handler(self, message_type: Type[Message], handler: Handler) -> None:
         if message_type in self._handlers:
             raise ValueError(f"handler already registered for {message_type.__name__}")
         self._handlers[message_type] = handler
 
+    def crash(self) -> None:
+        """Fail-stop the replica: from now on it neither receives nor sends.
+
+        Suppressing *both* directions matters — a scheduled continuation
+        (WAL durability callback, anti-entropy tick) may still fire after
+        the crash, and a fail-stop node must not answer from beyond the
+        grave."""
+        self.crashed = True
+
+    def send(self, recipient_id: str, message: Message) -> None:
+        if self.crashed:
+            return
+        super().send(recipient_id, message)
+
     def receive(self, message: Message) -> None:
+        if self.crashed:
+            return
         handler = self._handlers.get(type(message))
         if handler is None:
             raise RuntimeError(

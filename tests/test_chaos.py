@@ -56,6 +56,7 @@ def run_chaos(seed: int):
     return cluster, plan, crashed, txs
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("seed", [1, 2, 3, 5, 8, 13, 21, 34])
 def test_safety_battery_under_chaos(seed):
     cluster, plan, crashed, txs = run_chaos(seed)

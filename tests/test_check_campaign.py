@@ -1,0 +1,148 @@
+"""End-to-end tests for the check_campaign experiment and replay files.
+
+The quick tests run a handful of schedules; the acceptance-scale runs
+(50 broken / 200 clean schedules, per the PR's acceptance criteria) carry
+the ``slow`` marker and run in the benchmarks CI job, not tier-1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check import campaign
+from repro.check.campaign import (
+    load_plan,
+    plan_payload,
+    replay,
+    run_schedule,
+    write_plan,
+)
+from repro.experiments import registry
+from repro.faults import FaultPlan
+from repro.harness.parallel import SweepOptions, run_sweep
+from repro.ops import reset_txid_counter
+
+
+@pytest.fixture(autouse=True)
+def _fresh_txids():
+    # Campaign digests canonicalise txids, but keeping runs aligned makes
+    # failures easier to eyeball.
+    reset_txid_counter()
+
+
+class TestRunSchedule:
+    def test_clean_schedule_passes(self):
+        row = run_schedule(12, duration_ms=3_000.0)
+        assert row["violations"] == []
+        assert row["ops"] > 0
+        assert row["txs"] >= 10
+        assert not row["broken"]
+        FaultPlan.from_dict(row["plan"])  # plan is replay-ready
+
+    def test_schedule_digest_is_stable(self):
+        first = run_schedule(12, duration_ms=3_000.0)
+        reset_txid_counter()
+        second = run_schedule(12, duration_ms=3_000.0)
+        assert first["digest"] == second["digest"]
+
+    def test_broken_build_caught(self):
+        # The seeded mutation commits on any single accept; a handful of
+        # schedules is enough for the quorum/lost-update invariants to fire.
+        violations = []
+        for seed in (1, 2, 3):
+            reset_txid_counter()
+            row = run_schedule(seed, duration_ms=3_000.0, broken=True)
+            violations.extend(row["violations"])
+        assert violations, "checker missed the unsafe_skip_quorum_check mutation"
+        assert {v["invariant"] for v in violations} <= {
+            "quorum", "duplicate-committed-version", "version-chain-gap",
+            "read-validity", "monotonic-reads", "read-your-writes",
+        }
+        assert any(v["invariant"] == "quorum" for v in violations)
+
+
+class TestCampaignExperiment:
+    def test_registered_and_discoverable(self):
+        spec = registry.get(campaign.EXPERIMENT_ID)
+        assert spec.module == "repro.check.campaign"
+
+    def test_small_campaign_clean_and_jobs_equivalent(self):
+        spec = registry.get(campaign.EXPERIMENT_ID)
+        overrides = {"check.duration_ms": "2000"}
+        serial = run_sweep(
+            spec, seed=0, scale=0.08, overrides=overrides,
+            options=SweepOptions(jobs=1),
+        )
+        assert serial.result.all_checks_pass
+        parallel = run_sweep(
+            spec, seed=0, scale=0.08, overrides=overrides,
+            options=SweepOptions(jobs=2),
+        )
+        assert serial.result_set.digest() == parallel.result_set.digest()
+
+    def test_broken_campaign_reports_minimal_failing_seed(self):
+        spec = registry.get(campaign.EXPERIMENT_ID)
+        sweep = run_sweep(
+            spec, seed=0, scale=0.06,
+            overrides={"check.duration_ms": "2000", "check.broken": "1"},
+            options=SweepOptions(jobs=1),
+        )
+        result = sweep.result
+        assert not result.all_checks_pass
+        assert result.data["failing_schedules"] >= 1
+        assert result.data["total_violations"] >= 1
+        payload = result.data["replay_plan"]
+        assert payload["format"] == campaign.PLAN_FORMAT
+        assert payload["seed"] == result.data["min_failing_seed"]
+        assert payload["broken"] is True
+        # The triage plan replays to the same failure.
+        reset_txid_counter()
+        row = replay(payload)
+        assert row["violations"]
+        assert row["digest_stable"]
+
+
+class TestReplayFiles:
+    def test_write_load_round_trip(self, tmp_path):
+        payload = plan_payload(
+            seed=5, duration_ms=2_000.0, intensity=1.0, broken=False,
+            plan_dict=FaultPlan().to_dict(),
+        )
+        path = tmp_path / "plan.json"
+        write_plan(str(path), payload)
+        assert load_plan(str(path)) == payload
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "not_a_plan.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ValueError, match="not a campaign plan"):
+            load_plan(str(path))
+
+    def test_committed_example_plan_is_known_good(self):
+        # The CI smoke contract: examples/campaign_plan.json must replay
+        # with zero violations and a byte-stable digest.
+        payload = load_plan("examples/campaign_plan.json")
+        row = replay(payload)
+        assert row["violations"] == []
+        assert row["digest_stable"]
+
+
+@pytest.mark.slow
+class TestAcceptanceScale:
+    """The PR's acceptance criteria, verbatim scale (minutes, not seconds)."""
+
+    def test_unmodified_build_passes_200_schedules(self):
+        spec = registry.get(campaign.EXPERIMENT_ID)
+        sweep = run_sweep(
+            spec, seed=0, scale=4.0, options=SweepOptions(jobs=2)
+        )
+        assert sweep.result.all_checks_pass, sweep.result.data
+
+    def test_broken_build_caught_within_50_schedules(self):
+        spec = registry.get(campaign.EXPERIMENT_ID)
+        sweep = run_sweep(
+            spec, seed=0, scale=1.0, overrides={"check.broken": "1"},
+            options=SweepOptions(jobs=2),
+        )
+        assert not sweep.result.all_checks_pass
+        assert sweep.result.data["total_violations"] >= 1

@@ -1,0 +1,310 @@
+"""Checker unit tests: each invariant triggered by a synthetic history.
+
+Every test builds a small hand-written history (no simulator) so the
+violation — or its absence — is unambiguous.  End-to-end coverage against
+real cluster runs lives in ``tests/test_check_campaign.py``.
+"""
+
+from __future__ import annotations
+
+from repro.check.checker import (
+    DURABLE_ABORT_REASONS,
+    INVARIANTS,
+    CheckerConfig,
+    Violation,
+    check_history,
+)
+from repro.check.history import History, HistoryOp
+from repro.faults import CoordinatorCrash, FaultPlan, ReplicaCrash
+
+
+def _op(time_ms, op_kind, txid, session="", **fields):
+    # "op_kind" rather than "kind": write ops carry a "kind" *field* too.
+    return HistoryOp(
+        time_ms=time_ms, kind=op_kind, txid=txid, session=session, fields=fields
+    )
+
+
+def _committed_write(t, txid, session, key, read_version, guess=False):
+    """begin / [guess] / write / commit for one w-write transaction."""
+    ops = [
+        _op(t, "begin", txid, session, ryw=False, reads=0, writes=1, wkeys=key),
+    ]
+    if guess:
+        ops.append(_op(t + 0.5, "guess", txid, session, likelihood=0.9))
+    ops += [
+        _op(t + 1, "write", txid, session, key=key, kind="w",
+            read_version=read_version),
+        _op(t + 2, "commit", txid, session),
+    ]
+    return ops
+
+
+def invariants(violations):
+    return sorted({v.invariant for v in violations})
+
+
+class TestCleanHistories:
+    def test_empty_history_is_clean(self):
+        assert check_history(History()) == []
+
+    def test_contiguous_chain_and_valid_reads(self):
+        ops = (
+            _committed_write(0, "tx-1", "a/s0", "x", 0)
+            + _committed_write(10, "tx-2", "a/s0", "x", 1)
+            + [
+                _op(20, "begin", "tx-3", "b/s0", ryw=False, wkeys=""),
+                _op(21, "read", "tx-3", "b/s0", key="x", version=2),
+                _op(22, "commit", "tx-3", "b/s0"),
+            ]
+        )
+        assert check_history(History(ops)) == []
+
+    def test_correct_guess_needs_no_apology(self):
+        ops = _committed_write(0, "tx-1", "a/s0", "x", 0, guess=True)
+        assert check_history(History(ops)) == []
+
+    def test_wrong_guess_with_one_apology_is_clean(self):
+        ops = [
+            _op(0, "begin", "tx-1", "a/s0", ryw=False, wkeys="x"),
+            _op(1, "guess", "tx-1", "a/s0", likelihood=0.9),
+            _op(2, "abort", "tx-1", "a/s0", reason="conflict"),
+            _op(3, "apology", "tx-1", "a/s0"),
+        ]
+        assert check_history(History(ops)) == []
+
+
+class TestDecided:
+    def test_undecided_tx_flagged(self):
+        ops = [_op(0, "begin", "tx-1", "a/s0", ryw=False, wkeys="")]
+        assert invariants(check_history(History(ops))) == ["decided"]
+
+    def test_gated_off_by_config(self):
+        ops = [_op(0, "begin", "tx-1", "a/s0", ryw=False, wkeys="")]
+        config = CheckerConfig(expect_decided=False)
+        assert check_history(History(ops), config) == []
+
+
+class TestVersionChain:
+    def test_duplicate_committed_version_is_lost_update(self):
+        ops = (
+            _committed_write(0, "tx-1", "a/s0", "x", 0)
+            + _committed_write(10, "tx-2", "b/s0", "x", 0)
+        )
+        found = check_history(History(ops))
+        assert invariants(found) == ["duplicate-committed-version"]
+        assert found[0].key == "x"
+
+    def test_gap_in_committed_versions(self):
+        ops = (
+            _committed_write(0, "tx-1", "a/s0", "x", 0)
+            + _committed_write(10, "tx-2", "b/s0", "x", 2)
+        )
+        assert invariants(check_history(History(ops))) == ["version-chain-gap"]
+
+    def test_gap_gated_off_by_config(self):
+        ops = (
+            _committed_write(0, "tx-1", "a/s0", "x", 0)
+            + _committed_write(10, "tx-2", "b/s0", "x", 2)
+        )
+        config = CheckerConfig(check_version_chain=False)
+        assert check_history(History(ops), config) == []
+
+    def test_gap_excused_by_unknown_outcome_writer(self):
+        # tx-3 declared a write on x and timed out: orphan recovery may
+        # have installed v2 invisibly, so the gap is not a violation...
+        ops = (
+            _committed_write(0, "tx-1", "a/s0", "x", 0)
+            + _committed_write(10, "tx-2", "b/s0", "x", 2)
+            + [
+                _op(5, "begin", "tx-3", "c/s0", ryw=False, wkeys="x"),
+                _op(6, "abort", "tx-3", "c/s0", reason="timeout"),
+            ]
+        )
+        assert check_history(History(ops)) == []
+
+    def test_gap_not_excused_by_durable_abort(self):
+        # ...but a conflict abort proves tx-3's options were never chosen,
+        # so the gap stays a violation.
+        assert "conflict" in DURABLE_ABORT_REASONS
+        ops = (
+            _committed_write(0, "tx-1", "a/s0", "x", 0)
+            + _committed_write(10, "tx-2", "b/s0", "x", 2)
+            + [
+                _op(5, "begin", "tx-3", "c/s0", ryw=False, wkeys="x"),
+                _op(6, "abort", "tx-3", "c/s0", reason="conflict"),
+            ]
+        )
+        assert invariants(check_history(History(ops))) == ["version-chain-gap"]
+
+    def test_delta_writes_exempt_from_chain(self):
+        # Escrow deltas commute and carry no version; two commits at the
+        # same instant are fine.
+        ops = [
+            _op(0, "begin", "tx-1", "a/s0", ryw=False, wkeys="counter"),
+            _op(1, "write", "tx-1", "a/s0", key="counter", kind="delta",
+                delta=1, floor=0),
+            _op(2, "commit", "tx-1", "a/s0"),
+            _op(0, "begin", "tx-2", "b/s0", ryw=False, wkeys="counter"),
+            _op(1, "write", "tx-2", "b/s0", key="counter", kind="delta",
+                delta=-1, floor=0),
+            _op(2, "commit", "tx-2", "b/s0"),
+        ]
+        assert check_history(History(ops)) == []
+
+
+class TestReadValidity:
+    def test_read_outside_committed_range(self):
+        ops = _committed_write(0, "tx-1", "a/s0", "x", 0) + [
+            _op(10, "begin", "tx-2", "b/s0", ryw=False, wkeys=""),
+            _op(11, "read", "tx-2", "b/s0", key="x", version=7),
+            _op(12, "commit", "tx-2", "b/s0"),
+        ]
+        assert invariants(check_history(History(ops))) == ["read-validity"]
+
+    def test_never_written_key_must_read_one_version(self):
+        ops = [
+            _op(0, "begin", "tx-1", "a/s0", ryw=False, wkeys=""),
+            _op(1, "read", "tx-1", "a/s0", key="x", version=0),
+            _op(2, "commit", "tx-1", "a/s0"),
+            _op(10, "begin", "tx-2", "a/s1", ryw=False, wkeys=""),
+            _op(11, "read", "tx-2", "a/s1", key="x", version=3),
+            _op(12, "commit", "tx-2", "a/s1"),
+        ]
+        assert invariants(check_history(History(ops))) == ["read-validity"]
+
+
+class TestSessionGuarantees:
+    def test_monotonic_reads_violation(self):
+        ops = _committed_write(0, "tx-w", "w/s0", "x", 0) + [
+            _op(10, "begin", "tx-1", "a/s0", ryw=False, wkeys=""),
+            _op(11, "read", "tx-1", "a/s0", key="x", version=1),
+            _op(12, "commit", "tx-1", "a/s0"),
+            _op(20, "begin", "tx-2", "a/s0", ryw=False, wkeys=""),
+            _op(21, "read", "tx-2", "a/s0", key="x", version=0),
+            _op(22, "commit", "tx-2", "a/s0"),
+        ]
+        found = check_history(History(ops))
+        assert invariants(found) == ["monotonic-reads"]
+        assert found[0].session == "a/s0"
+
+    def test_read_your_writes_violation(self):
+        # A ryw session commits x@v1 (read_version 0), then a later tx of
+        # the same session reads v0.
+        ops = [
+            _op(0, "begin", "tx-1", "a/s0", ryw=True, wkeys="x"),
+            _op(1, "write", "tx-1", "a/s0", key="x", kind="w", read_version=0),
+            _op(2, "commit", "tx-1", "a/s0"),
+            _op(10, "begin", "tx-2", "a/s0", ryw=True, wkeys=""),
+            _op(11, "read", "tx-2", "a/s0", key="x", version=0),
+            _op(12, "commit", "tx-2", "a/s0"),
+        ]
+        assert invariants(check_history(History(ops))) == ["read-your-writes"]
+
+    def test_plain_session_not_held_to_ryw(self):
+        ops = [
+            _op(0, "begin", "tx-1", "a/s0", ryw=False, wkeys="x"),
+            _op(1, "write", "tx-1", "a/s0", key="x", kind="w", read_version=0),
+            _op(2, "commit", "tx-1", "a/s0"),
+            _op(10, "begin", "tx-2", "a/s0", ryw=False, wkeys=""),
+            _op(11, "read", "tx-2", "a/s0", key="x", version=0),
+            _op(12, "commit", "tx-2", "a/s0"),
+        ]
+        assert check_history(History(ops)) == []
+
+    def test_concurrent_same_session_txs_use_begin_snapshot(self):
+        # tx-2 began before tx-1's read advanced the floor, so its stale
+        # read is legal: floors are snapshotted at begin.
+        ops = _committed_write(0, "tx-w", "w/s0", "x", 0) + [
+            _op(10, "begin", "tx-1", "a/s0", ryw=False, wkeys=""),
+            _op(10, "begin", "tx-2", "a/s0", ryw=False, wkeys=""),
+            _op(11, "read", "tx-1", "a/s0", key="x", version=1),
+            _op(12, "read", "tx-2", "a/s0", key="x", version=0),
+            _op(13, "commit", "tx-1", "a/s0"),
+            _op(14, "commit", "tx-2", "a/s0"),
+        ]
+        assert check_history(History(ops)) == []
+
+
+class TestGuessApology:
+    def test_double_guess(self):
+        ops = [
+            _op(0, "begin", "tx-1", "a/s0", ryw=False, wkeys="x"),
+            _op(1, "guess", "tx-1", "a/s0", likelihood=0.9),
+            _op(2, "guess", "tx-1", "a/s0", likelihood=0.9),
+            _op(3, "write", "tx-1", "a/s0", key="x", kind="w", read_version=0),
+            _op(4, "commit", "tx-1", "a/s0"),
+        ]
+        assert invariants(check_history(History(ops))) == ["guess-soundness"]
+
+    def test_wrong_guess_without_apology(self):
+        ops = [
+            _op(0, "begin", "tx-1", "a/s0", ryw=False, wkeys="x"),
+            _op(1, "guess", "tx-1", "a/s0", likelihood=0.9),
+            _op(2, "abort", "tx-1", "a/s0", reason="conflict"),
+        ]
+        assert invariants(check_history(History(ops))) == ["apology-soundness"]
+
+    def test_apology_without_wrong_guess(self):
+        ops = _committed_write(0, "tx-1", "a/s0", "x", 0, guess=True) + [
+            _op(5, "apology", "tx-1", "a/s0"),
+        ]
+        assert invariants(check_history(History(ops))) == ["apology-soundness"]
+
+
+class TestQuorum:
+    def test_commit_below_quorum(self):
+        ops = _committed_write(0, "tx-1", "a/s0", "x", 0) + [
+            _op(2, "engine_decision", "tx-1", key="x", outcome="committed",
+                accepts=2, rejects=0, quorum=4),
+        ]
+        found = check_history(History(ops))
+        assert invariants(found) == ["quorum"]
+        assert "2/4" in found[0].detail
+
+    def test_quorum_backed_commit_clean(self):
+        ops = _committed_write(0, "tx-1", "a/s0", "x", 0) + [
+            _op(2, "engine_decision", "tx-1", key="x", outcome="committed",
+                accepts=4, rejects=1, quorum=4),
+        ]
+        assert check_history(History(ops)) == []
+
+    def test_aborted_decision_not_held_to_quorum(self):
+        ops = [
+            _op(0, "begin", "tx-1", "a/s0", ryw=False, wkeys="x"),
+            _op(1, "abort", "tx-1", "a/s0", reason="conflict"),
+            _op(1, "engine_decision", "tx-1", key="x", outcome="aborted",
+                accepts=1, rejects=2, quorum=4),
+        ]
+        assert check_history(History(ops)) == []
+
+
+class TestConfigForPlan:
+    def test_coordinator_crash_gates_both(self):
+        plan = FaultPlan(coordinator_crashes=[CoordinatorCrash("tokyo", 100.0)])
+        config = CheckerConfig.for_plan(plan)
+        assert not config.expect_decided
+        assert not config.check_version_chain
+
+    def test_replica_crash_keeps_full_checker(self):
+        plan = FaultPlan(replica_crashes=[ReplicaCrash("tokyo", 100.0)])
+        assert CheckerConfig.for_plan(plan) == CheckerConfig()
+
+    def test_none_plan_keeps_full_checker(self):
+        assert CheckerConfig.for_plan(None) == CheckerConfig()
+
+
+class TestViolation:
+    def test_round_trip(self):
+        violation = Violation(
+            invariant="quorum", detail="d", txid="tx-1", key="x", session="a/s0"
+        )
+        assert Violation.from_dict(violation.to_dict()) == violation
+
+    def test_known_invariants_only(self):
+        # The tests above exercise names out of the documented set.
+        assert set(INVARIANTS) >= {
+            "decided", "duplicate-committed-version", "version-chain-gap",
+            "read-validity", "monotonic-reads", "read-your-writes", "quorum",
+            "guess-soundness", "apology-soundness",
+        }

@@ -1,0 +1,123 @@
+"""Unit tests for history capture: HistoryOp/History, digests, recorder."""
+
+from __future__ import annotations
+
+from repro.check.history import History, HistoryOp, HistoryRecorder
+from repro.cluster import Cluster, ClusterConfig
+from repro.core.session import PlanetSession
+from repro.obs.events import TraceEvent
+
+
+def _op(time_ms, kind, txid, session="", **fields):
+    return HistoryOp(
+        time_ms=time_ms, kind=kind, txid=txid, session=session, fields=fields
+    )
+
+
+class TestSerialisation:
+    def test_op_round_trip(self):
+        op = _op(12.5, "read", "tx-3", session="us_west/s0", key="k1", version=2)
+        assert HistoryOp.from_dict(op.to_dict()) == op
+
+    def test_history_round_trip(self):
+        history = History([
+            _op(1.0, "begin", "tx-1", session="a/s0", ryw=True, wkeys="x"),
+            _op(2.0, "commit", "tx-1", session="a/s0"),
+        ])
+        restored = History.from_dict(history.to_dict())
+        assert restored.ops == history.ops
+        assert restored.digest() == history.digest()
+
+    def test_views(self):
+        history = History([
+            _op(1.0, "begin", "tx-1", session="a/s0"),
+            _op(2.0, "begin", "tx-2", session="b/s0"),
+            _op(3.0, "commit", "tx-1", session="a/s0"),
+        ])
+        assert len(history) == 3
+        assert [op.txid for op in history.by_kind("begin")] == ["tx-1", "tx-2"]
+        assert history.txids() == ["tx-1", "tx-2"]
+        assert history.sessions() == ["a/s0", "b/s0"]
+
+
+class TestDigest:
+    def test_digest_renames_counter_ids(self):
+        # Two histories differing only in the absolute txid counter (a
+        # process-global) must digest identically.
+        first = History([
+            _op(1.0, "begin", "tx-17", session="a/s0"),
+            _op(2.0, "commit", "tx-17", session="a/s0"),
+        ])
+        second = History([
+            _op(1.0, "begin", "tx-904", session="a/s0"),
+            _op(2.0, "commit", "tx-904", session="a/s0"),
+        ])
+        assert first.digest() == second.digest()
+
+    def test_digest_distinguishes_distinct_structure(self):
+        base = History([_op(1.0, "begin", "tx-1", session="a/s0")])
+        other = History([_op(1.0, "begin", "tx-1", session="b/s0")])
+        assert base.digest() != other.digest()
+
+    def test_digest_distinguishes_id_aliasing(self):
+        # tx-5 referenced twice is NOT the same as two distinct txids.
+        same = History([
+            _op(1.0, "begin", "tx-5", session="a/s0"),
+            _op(2.0, "commit", "tx-5", session="a/s0"),
+        ])
+        different = History([
+            _op(1.0, "begin", "tx-5", session="a/s0"),
+            _op(2.0, "commit", "tx-6", session="a/s0"),
+        ])
+        assert same.digest() != different.digest()
+
+    def test_digest_sensitive_to_float_fields(self):
+        low = History([_op(1.0, "guess", "tx-1", session="a/s0", likelihood=0.5)])
+        high = History([_op(1.0, "guess", "tx-1", session="a/s0", likelihood=0.9)])
+        assert low.digest() != high.digest()
+
+
+class TestRecorder:
+    def test_ignores_other_categories(self):
+        recorder = HistoryRecorder()
+        recorder.on_event(TraceEvent(1.0, "tx", "commit", {"txid": "tx-1"}))
+        assert len(recorder) == 0
+        recorder.on_event(
+            TraceEvent(2.0, "history", "commit", {"txid": "tx-1", "session": "a/s0"})
+        )
+        assert len(recorder) == 1
+        op = recorder.history().ops[0]
+        assert op.kind == "commit"
+        assert op.txid == "tx-1"
+        assert op.session == "a/s0"
+        assert "txid" not in op.fields  # hoisted out of the payload
+
+    def test_attach_records_and_detach_stops(self):
+        cluster = Cluster(ClusterConfig(seed=3, jitter_sigma=0.0))
+        cluster.load({"k": 0})
+        recorder = HistoryRecorder().attach(cluster.sim)
+        session = PlanetSession(cluster, "us_west")
+        session.submit(session.transaction().write("k", 1))
+        cluster.run()
+        captured = len(recorder)
+        assert captured > 0
+        history = recorder.history()
+        assert {"begin", "write", "commit"} <= {op.kind for op in history}
+        assert all(op.kind != "read" or "key" in op.fields for op in history)
+
+        recorder.detach(cluster.sim)
+        session.submit(session.transaction().write("k", 2))
+        cluster.run()
+        assert len(recorder) == captured
+
+    def test_two_recorders_compose(self):
+        # Direct tracer attachment must not fight over a global slot.
+        cluster = Cluster(ClusterConfig(seed=3, jitter_sigma=0.0))
+        cluster.load({"k": 0})
+        first = HistoryRecorder().attach(cluster.sim)
+        second = HistoryRecorder().attach(cluster.sim)
+        session = PlanetSession(cluster, "us_west")
+        session.submit(session.transaction().write("k", 1))
+        cluster.run()
+        assert len(first) == len(second) > 0
+        assert first.history().digest() == second.history().digest()

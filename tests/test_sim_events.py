@@ -54,6 +54,57 @@ class TestCancellation:
         assert EventQueue().peek_time() is None
 
 
+class TestEagerCancelAccounting:
+    """Regression pins for the eager-release bookkeeping.
+
+    ``cancel()`` releases the live/foreground counts immediately; ``pop()``
+    detaches the event from its queue before decrementing.  A late cancel
+    (after pop, or a second cancel) must therefore never double-decrement
+    — historically that underflowed ``len(queue)`` and broke drain
+    detection.
+    """
+
+    def test_late_cancel_after_pop_is_noop(self):
+        queue = EventQueue()
+        popped = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert queue.pop() is popped
+        before = (len(queue), queue.foreground_count)
+        popped.cancel()
+        assert (len(queue), queue.foreground_count) == before == (1, 1)
+
+    def test_double_cancel_releases_once(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert len(queue) == 1
+        assert queue.foreground_count == 1
+
+    def test_daemon_cancel_leaves_foreground_alone(self):
+        queue = EventQueue()
+        daemon = queue.push(1.0, lambda: None, daemon=True)
+        queue.push(2.0, lambda: None)
+        assert (len(queue), queue.foreground_count) == (2, 1)
+        daemon.cancel()
+        daemon.cancel()
+        assert (len(queue), queue.foreground_count) == (1, 1)
+
+    def test_cancel_then_pop_counts_stay_exact(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(4)]
+        events[1].cancel()
+        assert (len(queue), queue.foreground_count) == (3, 3)
+        assert queue.pop() is events[0]
+        events[1].cancel()  # late second cancel of an already-dead event
+        assert (len(queue), queue.foreground_count) == (2, 2)
+        assert queue.pop() is events[2]
+        assert queue.pop() is events[3]
+        assert (len(queue), queue.foreground_count) == (0, 0)
+        assert queue.pop() is None
+
+
 class TestQueueBasics:
     def test_len_counts_pushed(self):
         queue = EventQueue()
