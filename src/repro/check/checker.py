@@ -71,6 +71,8 @@ INVARIANTS = (
     "quorum",                      # commit decision without a quorum of accepts
     "guess-soundness",             # >1 guess for one transaction
     "apology-soundness",           # wrong guess without exactly one apology
+    "cross-shard-atomicity",       # 2PC branch missing/duplicated/unresolved
+                                   # (checked cross-history by repro.scale)
 )
 
 

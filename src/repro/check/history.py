@@ -32,7 +32,7 @@ from repro.obs.events import Sink, TraceEvent
 #: it for the quorum-backing invariant.
 OP_KINDS = (
     "begin", "read", "write", "guess", "commit", "abort", "apology",
-    "engine_decision",
+    "engine_decision", "xshard_vote",
 )
 
 _COUNTER_ID = re.compile(r"\b([A-Za-z]+)-(\d+)\b")

@@ -59,6 +59,12 @@ def _resolve_spec(experiment_id: str) -> ExperimentSpec:
         raise SystemExit(str(exc)) from exc
 
 
+#: Experiment-local override namespaces: these keys are consumed by a
+#: driver's own knob parser (campaign, sharded scaleout), not by
+#: PlanetConfig, so up-front config validation must let them through.
+_EXPERIMENT_NAMESPACES = ("check.", "scale.")
+
+
 def _parse_overrides(pairs: Optional[List[str]]) -> Dict[str, str]:
     from repro.core.session import PlanetConfig
     from repro.harness.overrides import ConfigOverrideError, parse_override_args
@@ -67,7 +73,12 @@ def _parse_overrides(pairs: Optional[List[str]]) -> Dict[str, str]:
         overrides = parse_override_args(pairs or [])
         # Validate once, up front, against the config the drivers build —
         # a typo should die here, not minutes into a sweep point.
-        PlanetConfig.from_overrides(overrides)
+        config_keys = {
+            key: value
+            for key, value in overrides.items()
+            if not key.startswith(_EXPERIMENT_NAMESPACES)
+        }
+        PlanetConfig.from_overrides(config_keys)
     except ConfigOverrideError as exc:
         raise SystemExit(f"bad --set override: {exc}") from exc
     return overrides

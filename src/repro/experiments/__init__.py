@@ -27,6 +27,7 @@ reproduction (scale=1) and the pytest-benchmark harness (scale<1).
 | A4  | WAL group commit ablation                  | a4_group_commit     |
 | T4  | YCSB core workloads summary                | t4_ycsb             |
 | MK  | kernel dispatch microbenchmark             | micro_kernel_dispatch |
+| SC1 | sharded planet-scale sim, 1M users         | scaleout_1m         |
 """
 
 from repro.experiments.common import ExperimentResult, ShapeCheck
@@ -54,4 +55,5 @@ ALL_EXPERIMENTS = [
     "a4_group_commit",
     "t4_ycsb",
     "micro_kernel_dispatch",
+    "scaleout_1m",
 ]

@@ -172,7 +172,12 @@ def all() -> List[ExperimentSpec]:  # noqa: A001 - mirrors the issue's API
 def get(name: str) -> ExperimentSpec:
     """Exact id, or a unique prefix of one (``f6`` → ``f6_commit_latency``).
 
-    Raises :class:`AmbiguousExperimentError` (candidates sorted) or
+    Among several prefix matches, a unique match whose prefix ends on an
+    underscore boundary wins: ``scaleout`` resolves to ``scaleout_1m``
+    even if other ids merely continue the same letters.  A bare ``f1``
+    (matching ``f10_contention``, ``f11_admission``, …, none at a
+    boundary) stays ambiguous.  Raises
+    :class:`AmbiguousExperimentError` (candidates sorted) or
     :class:`UnknownExperimentError`.
     """
     _ensure_loaded()
@@ -182,6 +187,9 @@ def get(name: str) -> ExperimentSpec:
     if len(matches) == 1:
         return _SPECS[matches[0]]
     if matches:
+        boundary = [eid for eid in matches if eid[len(name):][:1] == "_"]
+        if len(boundary) == 1:
+            return _SPECS[boundary[0]]
         raise AmbiguousExperimentError(name, matches)
     raise UnknownExperimentError(
         f"unknown experiment {name!r}; try: python -m repro list"

@@ -1,0 +1,28 @@
+"""SC1 — sharded planet-scale simulation (1M open-loop users).
+
+Thin registry shim: the implementation lives in
+:mod:`repro.scale.experiment` (the ``repro.scale`` subsystem), but the
+experiment keeps a module here so discovery, the worker import path and
+the module contract match every other driver.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import registry
+from repro.experiments.common import ExperimentResult
+from repro.scale.experiment import SPEC
+
+__all__ = ["SPEC", "run", "main"]
+
+
+def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
+    registry.warn_deprecated_entry_point(SPEC.id)
+    return SPEC.run(seed=seed, scale=scale)
+
+
+def main() -> None:
+    SPEC.run().print()
+
+
+if __name__ == "__main__":
+    main()

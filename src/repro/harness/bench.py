@@ -35,7 +35,13 @@ from repro.obs.metrics import install as install_metrics
 from repro.obs.metrics import uninstall as uninstall_metrics
 from repro.stats.bootstrap import ConfidenceInterval, diff_of_means_ci
 
-SCHEMA = "repro-bench-v1"
+#: Current write schema.  v2 adds two optional per-point fields —
+#: ``users_per_wall_s`` (simulated users sustained per wall-second, the
+#: scale trajectory) and ``shards`` — without touching the v1 required
+#: set, so ``--compare`` keeps working against old v1 baselines.
+SCHEMA = "repro-bench-v2"
+SCHEMA_V1 = "repro-bench-v1"
+ACCEPTED_SCHEMAS = (SCHEMA, SCHEMA_V1)
 
 
 class BenchFormatError(ValueError):
@@ -60,6 +66,7 @@ CURATED: List[BenchPoint] = [
     BenchPoint("s2_jitter", "s2_jitter", scale=0.1),
     BenchPoint("a4_group_commit", "a4_group_commit", scale=0.1),
     BenchPoint("f9_threshold", "f9_threshold_sweep", scale=0.05),
+    BenchPoint("scaleout", "scaleout_1m", scale=0.1),
 ]
 
 #: The smoke set (CI, ``--quick``): seconds, not a minute.
@@ -67,6 +74,7 @@ QUICK: List[BenchPoint] = [
     BenchPoint("kernel_dispatch", "micro_kernel_dispatch", scale=0.05),
     BenchPoint("f6_commit", "f6_commit_latency", scale=0.05),
     BenchPoint("a2_fast_paxos", "a2_fast_paxos", scale=0.05),
+    BenchPoint("scaleout", "scaleout_1m", scale=0.05),
 ]
 
 
@@ -115,6 +123,8 @@ def run_bench(
     for point in points:
         wall_s: List[float] = []
         events_per_sec: List[float] = []
+        users_per_wall_s: List[float] = []
+        shards = 0
         digest = ""
         sim_ms = 0.0
         snapshot: Dict[str, Any] = {}
@@ -134,6 +144,12 @@ def run_bench(
             if run.perf is not None:
                 events_per_sec.append(run.perf.events_per_sec)
                 sim_ms = run.perf.sim_ms
+            # Scale trajectory: experiments that model a population (the
+            # sharded scaleout) report it via result.data["users"].
+            users = run.result.data.get("users")
+            if isinstance(users, (int, float)) and users > 0 and run.wall_s > 0:
+                users_per_wall_s.append(users / run.wall_s)
+                shards = int(run.result.data.get("shards", 0) or 0)
             repeat_digest = run.result_set.digest()
             if digest and repeat_digest != digest:
                 raise RuntimeError(
@@ -153,6 +169,8 @@ def run_bench(
             "scale": point.scale,
             "wall_s": wall_s,
             "kernel_events_per_sec": events_per_sec,
+            "users_per_wall_s": users_per_wall_s,
+            "shards": shards,
             "sim_ms": sim_ms,
             "result_digest": digest,
             "metrics": snapshot,
@@ -188,9 +206,10 @@ _POINT_KEYS = {
 def validate_bench(document: Any) -> Dict[str, Any]:
     if not isinstance(document, dict):
         raise BenchFormatError("bench document must be a JSON object")
-    if document.get("schema") != SCHEMA:
+    if document.get("schema") not in ACCEPTED_SCHEMAS:
         raise BenchFormatError(
-            f"unsupported schema {document.get('schema')!r} (want {SCHEMA!r})"
+            f"unsupported schema {document.get('schema')!r} "
+            f"(want one of {', '.join(map(repr, ACCEPTED_SCHEMAS))})"
         )
     for key in ("label", "git_rev"):
         if not isinstance(document.get(key), str):
@@ -218,6 +237,25 @@ def validate_bench(document: Any) -> Dict[str, Any]:
             )
         if not isinstance(point["result_digest"], str):
             raise BenchFormatError(f"point {label!r}: result_digest must be a string")
+        # v2 optional fields (absent from v1 files — both load fine).
+        users_per_wall = point.get("users_per_wall_s")
+        if users_per_wall is not None and (
+            not isinstance(users_per_wall, list)
+            or not all(
+                isinstance(v, (int, float)) and v >= 0 for v in users_per_wall
+            )
+        ):
+            raise BenchFormatError(
+                f"point {label!r}: users_per_wall_s must be a list of "
+                "non-negative numbers"
+            )
+        n_shards = point.get("shards")
+        if n_shards is not None and not (
+            isinstance(n_shards, int) and n_shards >= 0
+        ):
+            raise BenchFormatError(
+                f"point {label!r}: shards must be a non-negative integer"
+            )
     return document
 
 

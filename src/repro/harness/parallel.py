@@ -45,6 +45,7 @@ from repro.harness.cache import ResultCache, code_fingerprint, point_cache_key
 from repro.harness.perf import PerfReport, PhaseClock
 from repro.harness.results import ResultSet
 from repro.obs.metrics import current as current_metrics
+from repro.obs.metrics import peak_rss_bytes
 
 
 class SweepError(RuntimeError):
@@ -94,6 +95,9 @@ class SweepRun:
     wall_s: float = 0.0
     point_wall_s: Dict[str, float] = field(default_factory=dict)
     perf: Optional[PerfReport] = None
+    #: High-water RSS across the parent and every worker that ran a
+    #: point (bytes; 0 when every point came from the cache).
+    peak_rss_bytes: int = 0
 
 
 def default_start_method() -> str:
@@ -127,8 +131,9 @@ def _execute_point(
     scale: float,
     overrides: Mapping[str, str],
     capture: Optional[Dict[str, Any]],
-) -> Tuple[Dict[str, Any], Optional[List[Dict[str, Any]]]]:
-    """Run one point; returns (row, serialised obs records or None)."""
+) -> Tuple[Dict[str, Any], Optional[List[Dict[str, Any]]], int]:
+    """Run one point; returns (row, serialised obs records or None, and
+    the executing process's peak RSS in bytes after the point ran)."""
     from repro.ops import reset_txid_counter
 
     # Txids must be a function of the point, not of process history, or a
@@ -149,7 +154,7 @@ def _execute_point(
         else:
             row = spec.run_point(dict(point.params), ctx)
             records = None
-    return row, records
+    return row, records, peak_rss_bytes()
 
 
 def _check_row(spec_id: str, key: str, row: Any) -> Dict[str, Any]:
@@ -188,7 +193,7 @@ def _worker_main(task_queue, result_queue) -> None:  # pragma: no cover - subpro
             from repro.experiments import registry
 
             spec = registry.get(task["experiment_id"])
-            row, records = _execute_point(
+            row, records, rss = _execute_point(
                 spec,
                 GridPoint(task["point_key"], task["params"]),
                 task["seed"],
@@ -196,7 +201,7 @@ def _worker_main(task_queue, result_queue) -> None:  # pragma: no cover - subpro
                 task["overrides"],
                 task["capture"],
             )
-            result_queue.put(("done", task_id, os.getpid(), (row, records)))
+            result_queue.put(("done", task_id, os.getpid(), (row, records, rss)))
         except BaseException:
             result_queue.put(("error", task_id, os.getpid(), traceback.format_exc()))
 
@@ -299,6 +304,7 @@ def run_sweep(
 
     jobs = max(1, int(options.jobs))
     parallel = jobs > 1 and len(pending) > 1
+    peak_rss = 0
 
     def note(message: str) -> None:
         if options.progress is not None:
@@ -310,9 +316,10 @@ def run_sweep(
                 spec, points, seeds, pending, scale, overrides, capture,
                 jobs, options, note,
             )
-            for index, (row, records, wall_s) in outcomes.items():
+            for index, (row, records, wall_s, rss) in outcomes.items():
                 rows[index] = _check_row(spec.id, points[index].key, row)
                 point_wall_s[points[index].key] = wall_s
+                peak_rss = max(peak_rss, rss)
                 if records is not None:
                     records_by_index[index] = records
                 if cache is not None:
@@ -343,10 +350,11 @@ def run_sweep(
                     point_started = time.monotonic()
                     # Inline: simulators bind the installed capture directly,
                     # so records flow live — no forwarding needed.
-                    row, _ = _execute_point(
+                    row, _, rss = _execute_point(
                         spec, point, seeds[index], scale, overrides, capture=None
                     )
                     rows[index] = _check_row(spec.id, point.key, row)
+                    peak_rss = max(peak_rss, rss)
                     wall_s = time.monotonic() - point_started
                     point_wall_s[point.key] = wall_s
                     if cache is not None:
@@ -370,6 +378,11 @@ def run_sweep(
         for wall_s in point_wall_s.values():
             if wall_s > 0:
                 metrics.observe("sweep.point_wall_s", wall_s, experiment=spec.id)
+        if peak_rss > 0:
+            # High-water mark across this sweep's executing processes;
+            # wall-clock-nondeterministic by nature (like worker
+            # utilization), so it never feeds rows or digests.
+            metrics.max_gauge("sweep.peak_rss_bytes", peak_rss, experiment=spec.id)
 
     with clock.phase("reduce"):
         result_set = ResultSet(
@@ -381,6 +394,8 @@ def run_sweep(
         reduce_ctx = PointContext(seed=seed, scale=scale, overrides=overrides)
         with common.active_overrides(overrides):
             result = spec.reduce([dict(row) for row in result_set.rows()], reduce_ctx)
+    perf = clock.report()
+    perf.peak_rss_bytes = peak_rss
     return SweepRun(
         experiment_id=spec.id,
         seed=seed,
@@ -392,7 +407,8 @@ def run_sweep(
         cache_misses=misses,
         wall_s=time.monotonic() - started,
         point_wall_s=point_wall_s,
-        perf=clock.report(),
+        perf=perf,
+        peak_rss_bytes=peak_rss,
     )
 
 
@@ -410,10 +426,11 @@ def _run_parallel(
     jobs: int,
     options: SweepOptions,
     note: Callable[[str], None],
-) -> Dict[int, Tuple[Dict[str, Any], Optional[List[Dict[str, Any]]], float]]:
+) -> Dict[int, Tuple[Dict[str, Any], Optional[List[Dict[str, Any]]], float, int]]:
     """Fan ``pending`` point indices across worker processes.
 
-    Returns {point index: (row, records, wall_s)}.  Workers that exceed the
+    Returns {point index: (row, records, wall_s, worker peak RSS
+    bytes)}.  Workers that exceed the
     per-point timeout (or die) are terminated and replaced; their point is
     requeued up to ``options.retries`` extra attempts.
     """
@@ -449,7 +466,7 @@ def _run_parallel(
     attempts: Dict[int, int] = {index: 1 for index in pending}
     running: Dict[int, Tuple[float, Optional[int]]] = {}  # index -> (start, pid)
     flagged_stragglers: set = set()
-    outcomes: Dict[int, Tuple[Dict[str, Any], Optional[List[Dict[str, Any]]], float]] = {}
+    outcomes: Dict[int, Tuple[Dict[str, Any], Optional[List[Dict[str, Any]]], float, int]] = {}
     failure: Optional[SweepPointError] = None
     metrics = current_metrics()
     sched_started = time.monotonic()
@@ -486,8 +503,8 @@ def _run_parallel(
             elif kind == "done":
                 started_at, _ = running.pop(task_id, (time.monotonic(), None))
                 wall_s = time.monotonic() - started_at
-                row, records = payload
-                outcomes[task_id] = (row, records, wall_s)
+                row, records, rss = payload
+                outcomes[task_id] = (row, records, wall_s, rss)
                 _emit_progress(
                     "point_finished", experiment=spec.id,
                     key=points[task_id].key, wall_s=wall_s, cached=False,
@@ -538,7 +555,7 @@ def _run_parallel(
                 if len(outcomes) < len(pending) and failure is None:
                     spawn_worker()
             # Stragglers: report, never kill.
-            finished_walls = sorted(wall for _, _, wall in outcomes.values())
+            finished_walls = sorted(wall for _, _, wall, _ in outcomes.values())
             if finished_walls:
                 median = finished_walls[len(finished_walls) // 2]
                 threshold = max(options.straggler_min_s, options.straggler_factor * median)
@@ -561,7 +578,7 @@ def _run_parallel(
             # Busy time summed over completed points vs. the worker-pool
             # wall capacity: 1.0 = every worker busy the whole time.
             elapsed = time.monotonic() - sched_started
-            busy = sum(wall for _, _, wall in outcomes.values())
+            busy = sum(wall for _, _, wall, _ in outcomes.values())
             if elapsed > 0 and n_workers > 0:
                 metrics.set_gauge(
                     "sweep.worker_utilization",

@@ -41,6 +41,10 @@ class PerfReport:
     wall_s: float
     kernel_events: int
     sim_ms: float
+    #: High-water resident set size over the run, max across the parent
+    #: and any sweep workers; 0 when not collected.  Set by the sweep
+    #: executor, not the phase clock — memory is per process, not per phase.
+    peak_rss_bytes: int = 0
 
     @property
     def events_per_sec(self) -> float:
@@ -68,6 +72,7 @@ class PerfReport:
             "sim_ms": self.sim_ms,
             "events_per_sec": self.events_per_sec,
             "sim_wall_ratio": self.sim_wall_ratio,
+            "peak_rss_bytes": self.peak_rss_bytes,
         }
 
     def summary_line(self) -> str:
@@ -78,6 +83,8 @@ class PerfReport:
             parts.append(f"{self.events_per_sec:,.0f} events/s")
         if self.sim_ms:
             parts.append(f"sim/wall {self.sim_wall_ratio:.1f}x")
+        if self.peak_rss_bytes:
+            parts.append(f"peak rss {self.peak_rss_bytes / (1024 * 1024):.0f}MB")
         return "perf: " + ", ".join(parts)
 
 

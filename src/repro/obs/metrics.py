@@ -297,6 +297,34 @@ NULL_METRICS = NullMetrics()
 _installed: Optional[MetricsRegistry] = None
 
 
+def peak_rss_bytes() -> int:
+    """Peak resident set size of the current process, in bytes (0 unknown).
+
+    The harness-side memory gauge backing the traffic layer's
+    "memory-lean" claim: the parallel executor samples it after every
+    point (in the worker that ran it) and folds the high-water mark into
+    ``sweep.peak_rss_bytes`` and the :class:`~repro.harness.perf
+    .PerfReport`.  Wall-clock-style nondeterminism is fine here — like
+    worker utilization, it never feeds rows or digests.
+    """
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+        import sys
+
+        usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # ru_maxrss is KiB on Linux, bytes on macOS.
+        return int(usage) if sys.platform == "darwin" else int(usage) * 1024
+    except (ImportError, ValueError, OSError):
+        return 0
+
+
 def install(registry: MetricsRegistry) -> MetricsRegistry:
     """Start a process-wide collection: every Simulator created from now
     on (and every harness-side instrument) records into ``registry``.

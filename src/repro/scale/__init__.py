@@ -1,0 +1,47 @@
+"""``repro.scale`` — sharded, planet-scale simulation.
+
+The paper's system is built for planet-scale traffic, but one
+discrete-event simulator tops out at a few hundred closed-loop clients:
+every simulated user costs a generator frame and every idle user still
+burns memory.  This package removes both ceilings:
+
+* :mod:`repro.scale.traffic` — an **open-loop traffic layer** that holds
+  no object per idle user.  Arrivals are drawn from aggregate processes
+  (Poisson, diurnal, spike-trace) over a keyspace-partitioned id space;
+  user ids materialise lazily, only at their arrival instant.
+* :mod:`repro.scale.shard` — a **sharded simulator**: the keyspace is
+  partitioned across N independent ``Cluster``+PLANET instances, each
+  run as one grid point through the existing parallel sweep executor.
+* :mod:`repro.scale.crossshard` — a **2PC-over-MDCC** path for the rare
+  multi-shard transactions: each branch is a real MDCC transaction that
+  durably records a prepare intent; the global decision is computed at
+  merge time and checked by a cross-shard atomicity invariant.
+* :mod:`repro.scale.merge` — the deterministic cross-shard reduce:
+  ResultSet rows, metrics snapshots and history digests fold in stable
+  shard order, so ``--jobs N`` stays byte-identical to a serial run.
+
+See ``docs/scaleout.md`` for the full model.
+"""
+
+from repro.scale.shard import ShardPlan, run_shard
+from repro.scale.traffic import (
+    Arrival,
+    DiurnalProcess,
+    PoissonProcess,
+    SpikeTraceProcess,
+    TrafficSource,
+    process_from_dict,
+    slice_arrivals,
+)
+
+__all__ = [
+    "Arrival",
+    "DiurnalProcess",
+    "PoissonProcess",
+    "ShardPlan",
+    "SpikeTraceProcess",
+    "TrafficSource",
+    "process_from_dict",
+    "run_shard",
+    "slice_arrivals",
+]

@@ -1,0 +1,174 @@
+"""2PC over MDCC: the rare cross-shard transaction path.
+
+Shards are independent simulators, so a cross-shard transaction cannot
+run as one live protocol exchange — and it should not have to: the
+point of keyspace sharding is that multi-shard transactions are *rare*.
+We run classic two-phase commit with MDCC as the prepare substrate:
+
+* **Plan.**  A dedicated deterministic planner draws the cross-shard
+  transactions (global id, arrival time, home + partner shard) from the
+  experiment's root seed.  Every shard computes the same plan and
+  executes only the branches it owns — no inter-shard communication.
+* **Prepare.**  Each branch is a *real MDCC transaction* inside its
+  shard: it writes a durable intent record (``s<i>:x:<gid>``) and
+  performs the branch's data work.  An MDCC commit of the intent *is*
+  the prepare vote — Paxos-replicated, so it survives exactly what a
+  2PC prepare must survive.  Branches run with a short timeout: in the
+  spirit of optimistic aborts (Jepsen et al.), a cross-shard branch
+  that cannot prepare quickly aborts cheaply rather than holding the
+  global transaction hostage.
+* **Decide.**  The global decision — commit iff *every* branch
+  prepared — is a pure function of the branch votes, computed during
+  the cross-shard merge.  Each branch emits an ``xshard_vote`` history
+  operation, so per-shard histories carry the evidence and the checker
+  can audit the global decision offline (the cross-shard **atomicity**
+  invariant in :func:`check_cross_shard`).
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import Any, Dict, List, NamedTuple, Tuple
+
+from repro.check.checker import Violation
+from repro.sim.rng import derive_seed
+
+#: Votes a branch can report.  ``unknown`` (never decided in-sim) is an
+#: atomicity violation by itself: a 2PC participant must resolve.
+BRANCH_VOTES = ("prepared", "abort", "unknown")
+
+
+class XTx(NamedTuple):
+    """One planned cross-shard transaction: two branches, one decision."""
+
+    gid: str
+    time_ms: float
+    home: int
+    partner: int
+
+
+def cross_shard_plan(
+    root_seed: int,
+    n_shards: int,
+    duration_ms: float,
+    rate_tps: float,
+) -> List[XTx]:
+    """The deterministic cross-shard schedule every shard agrees on.
+
+    Drawn from its own derived stream so it is identical no matter which
+    shard (or how many) computes it.  Poisson arrivals at ``rate_tps``;
+    home and partner are distinct uniform shards.
+    """
+    if n_shards < 2 or rate_tps <= 0 or duration_ms <= 0:
+        return []
+    rng = Random(derive_seed(root_seed, "scale.xshard:plan"))
+    plan: List[XTx] = []
+    t = 0.0
+    index = 0
+    rate_per_ms = rate_tps / 1000.0
+    while True:
+        t += rng.expovariate(rate_per_ms)
+        if t >= duration_ms:
+            return plan
+        home = rng.randrange(n_shards)
+        partner = (home + 1 + rng.randrange(n_shards - 1)) % n_shards
+        plan.append(XTx(gid=f"xs-{index}", time_ms=t, home=home, partner=partner))
+        index += 1
+
+
+def branch_seed(root_seed: int, gid: str, role: str) -> int:
+    """Seed of one branch's workload rng — a function of (root, gid, role)
+    only, so branch content never depends on shard composition."""
+    return derive_seed(root_seed, f"scale.xshard:{gid}:{role}")
+
+
+def intent_key(shard_index: int, gid: str) -> str:
+    """The durable prepare-intent record a branch writes in its shard."""
+    return f"s{shard_index}:x:{gid}"
+
+
+# ----------------------------------------------------------------------
+# Merge-time decision + atomicity check.
+# ----------------------------------------------------------------------
+def decide(votes: List[Dict[str, Any]]) -> str:
+    """Global 2PC outcome from one transaction's branch votes."""
+    if len(votes) == 2 and all(v.get("vote") == "prepared" for v in votes):
+        return "commit"
+    return "abort"
+
+
+def check_cross_shard(
+    plan: List[XTx],
+    votes_by_shard: Dict[int, List[Dict[str, Any]]],
+) -> Tuple[Dict[str, str], List[Violation]]:
+    """Audit branch votes against the plan; derive the global decisions.
+
+    Returns ``(decisions, violations)`` where ``decisions`` maps gid →
+    commit/abort.  The **cross-shard-atomicity** invariant fails when a
+    planned branch never voted, voted twice, voted from a shard that
+    does not own it, or never resolved (``unknown``) — each of which
+    would let the two shards disagree about one transaction's outcome.
+    """
+    violations: List[Violation] = []
+    owners: Dict[str, Dict[str, int]] = {
+        xtx.gid: {"home": xtx.home, "partner": xtx.partner} for xtx in plan
+    }
+    votes_by_gid: Dict[str, List[Dict[str, Any]]] = {xtx.gid: [] for xtx in plan}
+
+    for shard_index in sorted(votes_by_shard):
+        for vote in votes_by_shard[shard_index]:
+            gid = str(vote.get("gid", ""))
+            expected = owners.get(gid)
+            if expected is None:
+                violations.append(
+                    Violation(
+                        invariant="cross-shard-atomicity",
+                        detail=f"shard {shard_index} voted on unplanned transaction {gid!r}",
+                        txid=gid,
+                    )
+                )
+                continue
+            role = str(vote.get("role", ""))
+            if expected.get(role) != shard_index:
+                violations.append(
+                    Violation(
+                        invariant="cross-shard-atomicity",
+                        detail=(
+                            f"shard {shard_index} voted as {role!r} for {gid} "
+                            f"but the plan assigns that role to shard {expected.get(role)}"
+                        ),
+                        txid=gid,
+                    )
+                )
+                continue
+            votes_by_gid[gid].append(dict(vote, shard=shard_index))
+
+    decisions: Dict[str, str] = {}
+    for xtx in plan:
+        votes = votes_by_gid[xtx.gid]
+        roles = sorted(str(v.get("role")) for v in votes)
+        if roles != ["home", "partner"]:
+            violations.append(
+                Violation(
+                    invariant="cross-shard-atomicity",
+                    detail=(
+                        f"{xtx.gid}: expected one home + one partner branch, "
+                        f"got {roles or 'none'}"
+                    ),
+                    txid=xtx.gid,
+                )
+            )
+        for vote in votes:
+            if vote.get("vote") == "unknown":
+                violations.append(
+                    Violation(
+                        invariant="cross-shard-atomicity",
+                        detail=(
+                            f"{xtx.gid}: {vote.get('role')} branch on shard "
+                            f"{vote.get('shard')} never resolved"
+                        ),
+                        txid=xtx.gid,
+                    )
+                )
+        decisions[xtx.gid] = decide(votes)
+    return decisions, violations

@@ -1,0 +1,314 @@
+"""Open-loop traffic with no object per idle user.
+
+The classic pattern — one :class:`~repro.sim.process.Process` per client
+(:mod:`repro.workload.clients`) — costs a generator frame, an rng and a
+submitted-list per user.  At a million users that is gigabytes of state
+for users who mostly sit idle.  This module inverts the representation:
+a *population* is just an integer range of user ids, and traffic is an
+**aggregate arrival process** sampled lazily.
+
+The id space is split into ``n_slices`` fixed slices.  Each slice owns a
+contiguous block of user ids and an independent arrival stream derived
+from its own seed, thinned from the process's peak rate
+(Lewis-Shedler).  Because a slice's stream is a pure function of
+``(slice seed, process, horizon)`` — never of which shard happens to own
+the slice — regrouping slices onto a different number of shards leaves
+every arrival byte-identical.  That is the property the sharded
+simulator's ``--jobs``-independence rests on.
+
+Within a slice, the arriving user id is drawn through a reused
+:mod:`repro.workload.keys` chooser (uniform by default, Zipf for skewed
+populations), so popularity models cost one shared CDF, not per-user
+state.  A :class:`TrafficSource` lazily merges its shard's slice streams
+into one simulator process: live memory is O(slices per shard).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from random import Random
+from typing import Any, Callable, Dict, Iterable, Iterator, List, NamedTuple, Optional, Tuple
+
+from repro.sim.process import Process
+from repro.workload.keys import KeyChooser, UniformChooser, ZipfChooser
+
+
+class Arrival(NamedTuple):
+    """One open-loop arrival: *at time t, user u (of slice s) shows up*.
+
+    ``seq`` is the arrival's ordinal within its slice; ``(time_ms,
+    slice_index, seq)`` is a total order used for deterministic merging.
+    """
+
+    time_ms: float
+    slice_index: int
+    seq: int
+    user_id: int
+
+
+# ----------------------------------------------------------------------
+# Arrival processes: time-varying offered load for the whole population.
+# ----------------------------------------------------------------------
+class ArrivalProcess:
+    """Base: a rate function ``rate_tps(t)`` bounded by ``peak_tps``."""
+
+    kind = "base"
+
+    @property
+    def peak_tps(self) -> float:
+        raise NotImplementedError
+
+    def rate_tps(self, time_ms: float) -> float:
+        raise NotImplementedError
+
+    def to_dict(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+
+class PoissonProcess(ArrivalProcess):
+    """Constant-rate Poisson arrivals."""
+
+    kind = "poisson"
+
+    def __init__(self, rate_tps: float) -> None:
+        if rate_tps <= 0:
+            raise ValueError("rate_tps must be positive")
+        self._rate = float(rate_tps)
+
+    @property
+    def peak_tps(self) -> float:
+        return self._rate
+
+    def rate_tps(self, time_ms: float) -> float:
+        return self._rate
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "rate_tps": self._rate}
+
+
+class DiurnalProcess(ArrivalProcess):
+    """A day curve: rate swings cosine-shaped between base and peak.
+
+    ``phase`` in [0, 1) shifts where in the cycle t=0 falls (0 = trough).
+    """
+
+    kind = "diurnal"
+
+    def __init__(
+        self,
+        base_tps: float,
+        peak_tps: float,
+        period_ms: float,
+        phase: float = 0.0,
+    ) -> None:
+        if base_tps <= 0 or peak_tps < base_tps:
+            raise ValueError("need 0 < base_tps <= peak_tps")
+        if period_ms <= 0:
+            raise ValueError("period_ms must be positive")
+        self.base_tps = float(base_tps)
+        self._peak = float(peak_tps)
+        self.period_ms = float(period_ms)
+        self.phase = float(phase) % 1.0
+
+    @property
+    def peak_tps(self) -> float:
+        return self._peak
+
+    def rate_tps(self, time_ms: float) -> float:
+        cycle = (time_ms / self.period_ms + self.phase) % 1.0
+        # Trough at cycle 0, peak at cycle 0.5.
+        mix = (1.0 - math.cos(2.0 * math.pi * cycle)) / 2.0
+        return self.base_tps + (self._peak - self.base_tps) * mix
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "base_tps": self.base_tps,
+            "peak_tps": self._peak,
+            "period_ms": self.period_ms,
+            "phase": self.phase,
+        }
+
+
+class SpikeTraceProcess(ArrivalProcess):
+    """Base rate plus replayed spike windows ``(start_ms, end_ms, mult)``.
+
+    Overlapping windows multiply — a 3x spike inside a 2x window is 6x.
+    """
+
+    kind = "spike"
+
+    def __init__(
+        self,
+        base_tps: float,
+        trace: Iterable[Tuple[float, float, float]] = (),
+    ) -> None:
+        if base_tps <= 0:
+            raise ValueError("base_tps must be positive")
+        self.base_tps = float(base_tps)
+        self.trace: List[Tuple[float, float, float]] = []
+        for start_ms, end_ms, mult in trace:
+            if end_ms <= start_ms:
+                raise ValueError("spike window must have end_ms > start_ms")
+            if mult <= 0:
+                raise ValueError("spike multiplier must be positive")
+            self.trace.append((float(start_ms), float(end_ms), float(mult)))
+        self.trace.sort()
+
+    @property
+    def peak_tps(self) -> float:
+        # Conservative: assume all windows can overlap.  Thinning only
+        # needs an upper bound; a loose one costs rejected candidates,
+        # not correctness.
+        mult = 1.0
+        for _, _, m in self.trace:
+            if m > 1.0:
+                mult *= m
+        return self.base_tps * mult
+
+    def rate_tps(self, time_ms: float) -> float:
+        rate = self.base_tps
+        for start_ms, end_ms, mult in self.trace:
+            if start_ms <= time_ms < end_ms:
+                rate *= mult
+        return rate
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "base_tps": self.base_tps,
+            "trace": [list(window) for window in self.trace],
+        }
+
+
+def process_from_dict(payload: Dict[str, Any]) -> ArrivalProcess:
+    """Rebuild an arrival process from its JSON descriptor."""
+    kind = payload.get("kind")
+    if kind == "poisson":
+        return PoissonProcess(payload["rate_tps"])
+    if kind == "diurnal":
+        return DiurnalProcess(
+            payload["base_tps"],
+            payload["peak_tps"],
+            payload["period_ms"],
+            payload.get("phase", 0.0),
+        )
+    if kind == "spike":
+        return SpikeTraceProcess(
+            payload["base_tps"],
+            [tuple(window) for window in payload.get("trace", [])],
+        )
+    raise ValueError(f"unknown arrival process kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Population slices and per-slice arrival streams.
+# ----------------------------------------------------------------------
+#: Shared chooser cache: a Zipf CDF over a 15k-user slice is ~120KB; the
+#: 64 slices of a population all share one instance per (size, theta).
+_CHOOSER_CACHE: Dict[Tuple[str, int, float], KeyChooser] = {}
+
+
+def user_chooser(dist: str, slice_population: int, theta: float = 0.99) -> KeyChooser:
+    """The (cached, shared) within-slice user-popularity chooser."""
+    if dist == "uniform":
+        key = ("uniform", slice_population, 0.0)
+        chooser = _CHOOSER_CACHE.get(key)
+        if chooser is None:
+            chooser = _CHOOSER_CACHE[key] = UniformChooser(slice_population)
+        return chooser
+    if dist == "zipf":
+        key = ("zipf", slice_population, theta)
+        chooser = _CHOOSER_CACHE.get(key)
+        if chooser is None:
+            chooser = _CHOOSER_CACHE[key] = ZipfChooser(slice_population, theta=theta)
+        return chooser
+    raise ValueError(f"unknown user distribution {dist!r}")
+
+
+def slice_arrivals(
+    process: ArrivalProcess,
+    slice_index: int,
+    n_slices: int,
+    end_ms: float,
+    seed: int,
+    chooser: KeyChooser,
+    user_base: int,
+) -> Iterator[Arrival]:
+    """Lazily generate one slice's arrivals over ``[0, end_ms)``.
+
+    Lewis-Shedler thinning at the slice's share of the process peak rate:
+    candidate gaps are exponential at ``peak/n_slices``; each candidate
+    burns exactly one acceptance draw and one user draw, accepted with
+    probability ``rate(t)/peak``.  The stream is therefore a pure
+    function of ``(seed, process, end_ms, chooser)`` — independent of the
+    consuming shard, of wall time, and of every other slice.
+    """
+    if not 0 <= slice_index < n_slices:
+        raise ValueError("slice_index out of range")
+    rng = Random(seed)
+    peak_slice_tps = process.peak_tps / n_slices
+    if peak_slice_tps <= 0:
+        return
+    rate_per_ms = peak_slice_tps / 1000.0
+    t = 0.0
+    seq = 0
+    while True:
+        t += rng.expovariate(rate_per_ms)
+        if t >= end_ms:
+            return
+        accept = rng.random()
+        user_index = chooser.choose_index(rng)
+        if accept * process.peak_tps <= process.rate_tps(t):
+            yield Arrival(
+                time_ms=t,
+                slice_index=slice_index,
+                seq=seq,
+                user_id=user_base + user_index,
+            )
+            seq += 1
+
+
+def merge_slices(streams: Iterable[Iterator[Arrival]]) -> Iterator[Arrival]:
+    """Merge per-slice streams into one global arrival order.
+
+    ``Arrival`` tuples order by ``(time_ms, slice_index, seq)`` — a total
+    order with no float ties across slices left to chance — and
+    ``heapq.merge`` keeps only one pending arrival per stream in memory.
+    """
+    return heapq.merge(*streams)
+
+
+# ----------------------------------------------------------------------
+# The simulator-facing source.
+# ----------------------------------------------------------------------
+class TrafficSource:
+    """One sim process replaying a merged arrival stream open-loop.
+
+    Replaces per-client processes: however many users the id space
+    holds, the simulator carries a single generator frame plus one
+    buffered arrival per slice.
+    """
+
+    def __init__(
+        self,
+        sim,
+        streams: Iterable[Iterator[Arrival]],
+        on_arrival: Callable[[Arrival], None],
+        name: str = "traffic",
+    ) -> None:
+        self.sim = sim
+        self.on_arrival = on_arrival
+        self.arrivals = 0
+        self.name = name
+        self._merged = merge_slices(streams)
+        self._process = Process(sim, self._run(), name=name)
+
+    def _run(self):
+        for arrival in self._merged:
+            delay = arrival.time_ms - self.sim.now
+            if delay > 0:
+                yield delay
+            self.arrivals += 1
+            self.on_arrival(arrival)

@@ -189,3 +189,64 @@ class TestCli:
     def test_compare_bad_file_is_cli_error(self, snapshot_path, tmp_path):
         with pytest.raises(SystemExit):
             main(["bench", "--compare", snapshot_path, str(tmp_path / "nope.json")])
+
+
+class TestSchemaV2:
+    """v2 adds optional per-point fields; v1 files must keep working."""
+
+    def _as_v1(self, document):
+        """A faithful v1 rendering of the same measurements."""
+        old = copy.deepcopy(document)
+        old["schema"] = bench.SCHEMA_V1
+        for point in old["points"].values():
+            point.pop("users_per_wall_s", None)
+            point.pop("shards", None)
+        return old
+
+    def test_current_schema_is_v2_with_optional_fields(self, document):
+        assert document["schema"] == "repro-bench-v2"
+        point = document["points"]["fixture"]
+        # The fixture experiment models no population: empty trajectory.
+        assert point["users_per_wall_s"] == []
+        assert point["shards"] == 0
+
+    def test_v1_document_still_validates_and_compares(self, document):
+        old = self._as_v1(document)
+        validate_bench(old)  # must not raise
+        report = compare_bench(old, document)  # old baseline vs new run
+        assert not report.regressions
+        report = compare_bench(document, old)  # and the other way round
+        assert not report.regressions
+
+    def test_unknown_schema_still_rejected(self, document):
+        bad = copy.deepcopy(document)
+        bad["schema"] = "repro-bench-v3"
+        with pytest.raises(BenchFormatError, match="unsupported schema"):
+            validate_bench(bad)
+
+    def test_bad_users_per_wall_s_rejected(self, document):
+        bad = copy.deepcopy(document)
+        bad["points"]["fixture"]["users_per_wall_s"] = [1000.0, -1.0]
+        with pytest.raises(BenchFormatError, match="users_per_wall_s"):
+            validate_bench(bad)
+        bad["points"]["fixture"]["users_per_wall_s"] = "fast"
+        with pytest.raises(BenchFormatError, match="users_per_wall_s"):
+            validate_bench(bad)
+
+    def test_bad_shards_rejected(self, document):
+        bad = copy.deepcopy(document)
+        bad["points"]["fixture"]["shards"] = -2
+        with pytest.raises(BenchFormatError, match="shards"):
+            validate_bench(bad)
+        bad["points"]["fixture"]["shards"] = 2.5
+        with pytest.raises(BenchFormatError, match="shards"):
+            validate_bench(bad)
+
+    def test_scaleout_point_records_trajectory(self):
+        points = [BenchPoint("scaleout", "scaleout_1m", seed=0, scale=0.05)]
+        document = run_bench(points, repeats=1, label="scale-test")
+        point = document["points"]["scaleout"]
+        assert point["shards"] == 8
+        assert len(point["users_per_wall_s"]) == 1
+        assert point["users_per_wall_s"][0] > 0
+        validate_bench(document)

@@ -117,3 +117,63 @@ class TestJsonExport:
         module = importlib.import_module("repro.experiments.t1_rtt_matrix")
         result = module.run(seed=0, scale=0.1)
         json.dumps(result.to_dict())  # must not raise
+
+
+class TestRegistryPrefixes:
+    """Prefix resolution now that scaleout_1m shares letters with s1_*.
+
+    Complements the exact-candidate-list test in ``tests/test_registry.py``:
+    a unique match ending on an underscore boundary wins; prefixes that
+    genuinely straddle several experiments stay ambiguous, candidates
+    sorted.
+    """
+
+    def test_boundary_match_wins_over_longer_ids(self):
+        from repro.experiments import registry
+
+        assert registry.get("scaleout").id == "scaleout_1m"
+        assert registry.get("s1").id == "s1_scaleout"
+        assert registry.get("scaleout_1m").id == "scaleout_1m"
+
+    def test_bare_s_is_ambiguous_with_sorted_candidates(self):
+        from repro.experiments import registry
+
+        with pytest.raises(registry.AmbiguousExperimentError) as excinfo:
+            registry.get("s")
+        candidates = excinfo.value.candidates
+        assert candidates == sorted(candidates)
+        assert "s1_scaleout" in candidates
+        assert "scaleout_1m" in candidates
+
+    def test_non_boundary_prefix_stays_ambiguous(self):
+        from repro.experiments import registry
+
+        # f10..f13 all continue "f1" without an underscore: no winner.
+        with pytest.raises(registry.AmbiguousExperimentError):
+            registry.get("f1")
+
+    def test_cli_reports_ambiguity(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "s"])
+
+
+class TestOverrideNamespaces:
+    """Experiment-local `--set` namespaces (check., scale.) must pass the
+    CLI's up-front PlanetConfig validation; typos must still die there."""
+
+    def test_scale_namespace_reaches_driver(self, capsys):
+        code = main([
+            "run", "scaleout_1m", "--scale", "0.05", "--no-cache",
+            "--set", "scale.traffic=spike",
+            "--set", "scale.users=2000000",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2,000,000 users" in out
+
+    def test_config_typo_still_dies_up_front(self):
+        with pytest.raises(SystemExit, match="bad --set override"):
+            main([
+                "run", "scaleout_1m", "--no-cache",
+                "--set", "default_guess_thresholdd=0.9",
+            ])

@@ -366,3 +366,41 @@ class TestSpecValidation:
         assert ctx.seed == 9  # root seed, not a derived one
         assert ctx.scale == 0.5
         assert ctx.overrides == {"admission_threshold": "0.4"}
+
+
+class TestPeakRssGauge:
+    """The executor's memory high-water mark: collected, surfaced, never
+    allowed anywhere near rows or digests (RSS is nondeterministic)."""
+
+    def test_peak_rss_bytes_reads_positive_here(self):
+        from repro.obs.metrics import peak_rss_bytes
+
+        rss = peak_rss_bytes()
+        assert isinstance(rss, int)
+        assert rss > 1024 * 1024  # a CPython process is bigger than 1MB
+
+    def test_sweep_surfaces_peak_rss(self):
+        from repro.obs import metrics as obs_metrics
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = obs_metrics.install(MetricsRegistry())
+        try:
+            sweep = _sweep(jobs=1)
+            assert sweep.peak_rss_bytes > 0
+            assert sweep.perf.peak_rss_bytes == sweep.peak_rss_bytes
+            gauge = registry.gauge(
+                "sweep.peak_rss_bytes", experiment="zz_sweep_fixture"
+            )
+            assert gauge == sweep.peak_rss_bytes
+        finally:
+            obs_metrics.uninstall()
+        assert "peak rss" in sweep.perf.summary_line()
+
+    def test_parallel_run_collects_worker_rss(self):
+        sweep = _sweep(jobs=2)
+        assert sweep.peak_rss_bytes > 1024 * 1024
+
+    def test_rss_not_in_rows_or_result(self):
+        sweep = _sweep(jobs=1)
+        payload = sweep.result_set.to_dict()
+        assert "rss" not in str(payload)

@@ -1,0 +1,180 @@
+"""Open-loop traffic layer: determinism, shard-independence, shapes."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scale.shard import ShardPlan, shard_streams, ScaleParams
+from repro.scale.traffic import (
+    Arrival,
+    DiurnalProcess,
+    PoissonProcess,
+    SpikeTraceProcess,
+    TrafficSource,
+    merge_slices,
+    process_from_dict,
+    slice_arrivals,
+    user_chooser,
+)
+from repro.sim.kernel import Simulator
+
+
+def drain(stream):
+    return list(stream)
+
+
+PROCESSES = st.one_of(
+    st.builds(
+        PoissonProcess,
+        rate_tps=st.floats(min_value=5.0, max_value=500.0),
+    ),
+    st.builds(
+        DiurnalProcess,
+        base_tps=st.floats(min_value=5.0, max_value=100.0),
+        peak_tps=st.floats(min_value=100.0, max_value=500.0),
+        period_ms=st.floats(min_value=500.0, max_value=5_000.0),
+        phase=st.floats(min_value=0.0, max_value=0.99),
+    ),
+    st.builds(
+        SpikeTraceProcess,
+        base_tps=st.floats(min_value=5.0, max_value=200.0),
+        trace=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=400.0),
+                st.floats(min_value=500.0, max_value=1_000.0),
+                st.floats(min_value=1.5, max_value=4.0),
+            ),
+            max_size=2,
+        ),
+    ),
+)
+
+
+class TestArrivalDeterminism:
+    @settings(max_examples=25, deadline=None)
+    @given(process=PROCESSES, seed=st.integers(min_value=0, max_value=2**32))
+    def test_stream_byte_identical_across_runs(self, process, seed):
+        """Same (seed, process, horizon) => the identical arrival list."""
+        chooser = user_chooser("uniform", 1_000)
+        first = drain(
+            slice_arrivals(process, 0, 4, 800.0, seed, chooser, user_base=0)
+        )
+        second = drain(
+            slice_arrivals(process, 0, 4, 800.0, seed, chooser, user_base=0)
+        )
+        assert first == second
+        assert all(0.0 <= a.time_ms < 800.0 for a in first)
+        assert all(0 <= a.user_id < 1_000 for a in first)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        process=PROCESSES,
+        root_seed=st.integers(min_value=0, max_value=2**32),
+        grouping=st.sampled_from([(2, 4), (2, 8), (4, 8)]),
+    )
+    def test_arrivals_independent_of_shard_count(self, process, root_seed, grouping):
+        """Regrouping the same slices onto more shards reproduces the
+        identical global arrival multiset (the --jobs oracle's core)."""
+        few, many = grouping
+        params = ScaleParams(duration_ms=600.0, process=process.to_dict())
+
+        def all_arrivals(n_shards: int):
+            plan = ShardPlan(
+                population=10_000, n_shards=n_shards, slices=8, n_keys=800
+            )
+            arrivals = []
+            for shard in range(n_shards):
+                for stream in shard_streams(plan, shard, root_seed, params):
+                    arrivals.extend(stream)
+            return sorted(arrivals)
+
+        assert all_arrivals(few) == all_arrivals(many)
+
+    def test_roundtrip_descriptors(self):
+        for process in (
+            PoissonProcess(42.0),
+            DiurnalProcess(10.0, 90.0, 1_000.0, phase=0.25),
+            SpikeTraceProcess(20.0, [(100.0, 200.0, 3.0)]),
+        ):
+            clone = process_from_dict(process.to_dict())
+            assert clone.to_dict() == process.to_dict()
+            for t in (0.0, 150.0, 999.0):
+                assert clone.rate_tps(t) == process.rate_tps(t)
+
+    def test_unknown_descriptor_rejected(self):
+        with pytest.raises(ValueError, match="unknown arrival process"):
+            process_from_dict({"kind": "fractal"})
+
+
+class TestRateShapes:
+    def test_diurnal_swings_between_base_and_peak(self):
+        process = DiurnalProcess(10.0, 110.0, period_ms=1_000.0)
+        assert process.rate_tps(0.0) == pytest.approx(10.0)
+        assert process.rate_tps(500.0) == pytest.approx(110.0)
+        assert 10.0 <= process.rate_tps(250.0) <= 110.0
+
+    def test_spike_multiplies_inside_window(self):
+        process = SpikeTraceProcess(50.0, [(100.0, 200.0, 3.0)])
+        assert process.rate_tps(50.0) == pytest.approx(50.0)
+        assert process.rate_tps(150.0) == pytest.approx(150.0)
+        assert process.rate_tps(200.0) == pytest.approx(50.0)
+
+    def test_spike_window_draws_more_arrivals(self):
+        process = SpikeTraceProcess(200.0, [(2_000.0, 4_000.0, 4.0)])
+        chooser = user_chooser("uniform", 10_000)
+        arrivals = drain(
+            slice_arrivals(process, 0, 1, 6_000.0, seed=7, chooser=chooser, user_base=0)
+        )
+        inside = sum(1 for a in arrivals if 2_000.0 <= a.time_ms < 4_000.0)
+        outside = len(arrivals) - inside
+        # Window is 1/3 of the horizon at 4x rate: expect inside >> outside/2.
+        assert inside > outside
+
+    def test_poisson_rate_roughly_matches(self):
+        process = PoissonProcess(100.0)
+        chooser = user_chooser("uniform", 1_000)
+        arrivals = drain(
+            slice_arrivals(process, 0, 1, 10_000.0, seed=3, chooser=chooser, user_base=0)
+        )
+        assert 800 <= len(arrivals) <= 1_200  # 1000 expected
+
+
+class TestMergeAndSource:
+    def test_merge_is_time_ordered_with_total_tiebreak(self):
+        process = PoissonProcess(80.0)
+        chooser = user_chooser("uniform", 500)
+        streams = [
+            slice_arrivals(process, s, 4, 1_000.0, seed=100 + s, chooser=chooser,
+                           user_base=500 * s)
+            for s in range(4)
+        ]
+        merged = drain(merge_slices(streams))
+        assert merged == sorted(merged)
+        assert len({(a.time_ms, a.slice_index, a.seq) for a in merged}) == len(merged)
+
+    def test_traffic_source_replays_without_per_user_state(self):
+        sim = Simulator(seed=1)
+        process = PoissonProcess(200.0)
+        chooser = user_chooser("uniform", 1_000_000)  # a million users, one chooser
+        streams = [
+            slice_arrivals(process, s, 2, 500.0, seed=s, chooser=chooser, user_base=0)
+            for s in range(2)
+        ]
+        seen = []
+        source = TrafficSource(sim, streams, seen.append)
+        sim.run()
+        assert source.arrivals == len(seen) > 0
+        times = [a.time_ms for a in seen]
+        assert times == sorted(times)
+        assert sim.now == pytest.approx(max(times))
+
+    def test_zipf_chooser_shared_across_same_size_slices(self):
+        first = user_chooser("zipf", 4_096, 0.99)
+        second = user_chooser("zipf", 4_096, 0.99)
+        assert first is second
+
+    def test_bad_user_dist_rejected(self):
+        with pytest.raises(ValueError, match="unknown user distribution"):
+            user_chooser("pareto", 10)
