@@ -26,13 +26,13 @@ def pytest_collection_modifyitems(items):
 def run_and_check(benchmark, experiment_module, scale: float = BENCH_SCALE, seed: int = 0):
     """Benchmark one experiment driver and assert its shape checks.
 
-    Runs through the registered spec (the registry/sweep path the CLI
-    uses); modules without one fall back to their bare ``run``.
+    Runs through the registered spec — the registry/sweep path the CLI
+    uses, and since the pre-registry ``run()`` wrappers were removed, the
+    only driver API.
     """
-    spec = getattr(experiment_module, "SPEC", None)
-    runner = spec.run if spec is not None else experiment_module.run
     result = benchmark.pedantic(
-        runner, kwargs={"seed": seed, "scale": scale}, rounds=1, iterations=1
+        experiment_module.SPEC.run,
+        kwargs={"seed": seed, "scale": scale}, rounds=1, iterations=1,
     )
     failures = [str(check) for check in result.checks if not check.passed]
     assert not failures, "shape checks failed:\n" + "\n".join(failures)

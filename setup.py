@@ -1,2 +1,24 @@
-from setuptools import setup
-setup()
+"""Build script: the pure-python package plus the optional compiled kernel.
+
+``repro._ckernel`` is a hand-written CPython extension (no Cython/mypyc
+build dependency) that compiles the simulator hot loop.  It is marked
+``optional``: a missing compiler or headers degrades the install to the
+pure-python kernel instead of failing — ``repro.engine`` auto-detects
+the extension at import time.
+
+Build it in place for development with::
+
+    python setup.py build_ext --inplace
+"""
+
+from setuptools import Extension, setup
+
+setup(
+    ext_modules=[
+        Extension(
+            "repro._ckernel",
+            sources=["src/repro/_ckernel.c"],
+            optional=True,
+        )
+    ]
+)

@@ -59,28 +59,33 @@ def _resolve_spec(experiment_id: str) -> ExperimentSpec:
         raise SystemExit(str(exc)) from exc
 
 
-#: Experiment-local override namespaces: these keys are consumed by a
-#: driver's own knob parser (campaign, sharded scaleout), not by
-#: PlanetConfig, so up-front config validation must let them through.
-_EXPERIMENT_NAMESPACES = ("check.", "scale.")
-
-
 def _parse_overrides(pairs: Optional[List[str]]) -> Dict[str, str]:
     from repro.core.session import PlanetConfig
-    from repro.harness.overrides import ConfigOverrideError, parse_override_args
+    from repro.harness.overrides import (
+        ConfigOverrideError,
+        parse_override_args,
+        strip_reserved,
+    )
 
     try:
         overrides = parse_override_args(pairs or [])
         # Validate once, up front, against the config the drivers build —
-        # a typo should die here, not minutes into a sweep point.
-        config_keys = {
-            key: value
-            for key, value in overrides.items()
-            if not key.startswith(_EXPERIMENT_NAMESPACES)
-        }
-        PlanetConfig.from_overrides(config_keys)
+        # a typo should die here, not minutes into a sweep point.  Keys in
+        # RESERVED_NAMESPACES (check./scale./engine.) are consumed by a
+        # driver's own knob parser or the harness, not PlanetConfig.
+        PlanetConfig.from_overrides(strip_reserved(overrides))
     except ConfigOverrideError as exc:
         raise SystemExit(f"bad --set override: {exc}") from exc
+    if "engine.backend" in overrides:
+        from repro import engine
+
+        try:
+            # Fail now (with the build hint) rather than mid-sweep when
+            # an explicit "compiled" has no extension behind it.
+            with engine.use(overrides["engine.backend"]):
+                pass
+        except (ValueError, engine.BackendUnavailableError) as exc:
+            raise SystemExit(f"bad --set override: {exc}") from exc
     return overrides
 
 
@@ -127,7 +132,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         spec = _resolve_spec(experiment_id)
         if args.profile:
             profiler = obs.SpanAggregator()
-            with obs.capture(profiler):
+            with obs.session(profiler):
                 sweep = run_sweep(
                     spec, seed=args.seed, scale=args.scale,
                     overrides=overrides, options=options,
@@ -288,7 +293,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
     else:
         categories = obs.DEFAULT_CATEGORIES
     recorder = obs.FlightRecorder(capacity=args.capacity)
-    with obs.capture(recorder, categories=categories):
+    with obs.session(recorder, categories=categories):
         result = spec.run(seed=args.seed, scale=args.scale, overrides=overrides)
     document = obs.write_chrome_trace(args.out, recorder)
     if args.jsonl is not None:

@@ -16,12 +16,12 @@ from typing import Dict, List, Optional
 
 from repro.baselines.replica import TwoPcReplica
 from repro.baselines.twopc import TwoPcConfig, TwoPcCoordinator
+from repro.engine import build_simulator
 from repro.mdcc.coordinator import MdccConfig, MdccCoordinator
 from repro.mdcc.replica import MdccReplica
 from repro.net.latency import LatencyModel
 from repro.net.network import Network
 from repro.net.topology import EC2_FIVE_DC, Topology
-from repro.sim.kernel import Simulator
 from repro.storage.node import StorageNode
 
 
@@ -30,6 +30,12 @@ class ClusterConfig:
     topology: Topology = field(default_factory=lambda: EC2_FIVE_DC)
     seed: int = 0
     engine: str = "mdcc"
+    # Simulator kernel implementation: "auto" (compiled when built, else
+    # python), "compiled", or "python" — see repro.engine.
+    backend: str = "auto"
+    # Vectorized per-instant latency draws (numpy); deterministic but a
+    # different rng discipline than per-send sampling, so off by default.
+    delivery_batching: bool = False
     jitter_sigma: float = 0.2
     loss_probability: float = 0.0
     wal_sync_delay_ms: float = 0.5
@@ -73,7 +79,9 @@ class Cluster:
         self.config = config if config is not None else ClusterConfig()
         if self.config.engine not in ("mdcc", "twopc"):
             raise ValueError(f"unknown engine {self.config.engine!r}")
-        self.sim = Simulator(seed=self.config.seed)
+        self.sim = build_simulator(
+            seed=self.config.seed, backend=self.config.backend
+        )
         self.topology = self.config.topology
         self.latency = LatencyModel(self.topology, jitter_sigma=self.config.jitter_sigma)
         self.network = Network(
@@ -81,6 +89,7 @@ class Cluster:
             self.topology,
             latency=self.latency,
             loss_probability=self.config.loss_probability,
+            batch_delivery=self.config.delivery_batching,
         )
         self.storage_nodes: Dict[str, StorageNode] = {}
         self.coordinators: Dict[str, object] = {}

@@ -115,18 +115,20 @@ def _run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
 # The random-shedding arm's reject rate is *measured* from the likelihood
 # arm's run — a cross-arm data dependency, so A3 stays a single-point
 # legacy spec rather than a parallelisable grid.
-SPEC = registry.register_legacy(
-    experiment_id="a3_admission_policy",
-    figure="A3",
-    title="Admission policy ablation at matched shed rate",
-    module=__name__,
-    run_fn=_run,
+SPEC = registry.register(
+    registry.single_point_spec(
+        experiment_id="a3_admission_policy",
+        figure="A3",
+        title="Admission policy ablation at matched shed rate",
+        module=__name__,
+        run_fn=_run,
+    )
 )
 
 
-def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
-    registry.warn_deprecated_entry_point(SPEC.id)
-    return SPEC.run(seed=seed, scale=scale)
+def run(*_args: object, **_kwargs: object) -> None:
+    """Removed pre-registry entry point; raises with the replacement."""
+    registry.removed_entry_point(SPEC.id)
 
 
 def main() -> None:

@@ -138,9 +138,19 @@ def current_overrides() -> Optional[Mapping[str, str]]:
 
 
 def planet_with_overrides(planet: Optional[PlanetConfig]) -> PlanetConfig:
-    """The driver's PlanetConfig with any active ``--set`` overrides applied."""
+    """The driver's PlanetConfig with any active ``--set`` overrides applied.
+
+    Reserved namespaces (``check.*``, ``scale.*``, ``engine.*``) are
+    consumed elsewhere — the campaign/scaleout knob parsers and the
+    harness's backend selection — so they are stripped before PlanetConfig
+    validation.
+    """
+    from repro.harness.overrides import strip_reserved
+
     planet = planet if planet is not None else PlanetConfig()
     overrides = _ACTIVE_OVERRIDES.get()
+    if overrides:
+        overrides = strip_reserved(overrides)
     if overrides:
         planet = planet.with_overrides(overrides)
     return planet

@@ -149,18 +149,20 @@ def _run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
     return result
 
 
-SPEC = registry.register_legacy(
-    experiment_id="f13_coordinator_failure",
-    figure="F13",
-    title="Coordinator crash: orphaned options vs the recovery protocol",
-    module=__name__,
-    run_fn=_run,
+SPEC = registry.register(
+    registry.single_point_spec(
+        experiment_id="f13_coordinator_failure",
+        figure="F13",
+        title="Coordinator crash: orphaned options vs the recovery protocol",
+        module=__name__,
+        run_fn=_run,
+    )
 )
 
 
-def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
-    registry.warn_deprecated_entry_point(SPEC.id)
-    return SPEC.run(seed=seed, scale=scale)
+def run(*_args: object, **_kwargs: object) -> None:
+    """Removed pre-registry entry point; raises with the replacement."""
+    registry.removed_entry_point(SPEC.id)
 
 
 def main() -> None:

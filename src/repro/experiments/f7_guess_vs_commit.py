@@ -91,18 +91,20 @@ def _run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
     return result
 
 
-SPEC = registry.register_legacy(
-    experiment_id="f7_guess_vs_commit",
-    figure="F7",
-    title="Time-to-guess vs time-to-final-commit CDF",
-    module=__name__,
-    run_fn=_run,
+SPEC = registry.register(
+    registry.single_point_spec(
+        experiment_id="f7_guess_vs_commit",
+        figure="F7",
+        title="Time-to-guess vs time-to-final-commit CDF",
+        module=__name__,
+        run_fn=_run,
+    )
 )
 
 
-def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
-    registry.warn_deprecated_entry_point(SPEC.id)
-    return SPEC.run(seed=seed, scale=scale)
+def run(*_args: object, **_kwargs: object) -> None:
+    """Removed pre-registry entry point; raises with the replacement."""
+    registry.removed_entry_point(SPEC.id)
 
 
 def main() -> None:

@@ -26,11 +26,11 @@ from __future__ import annotations
 
 from typing import Any, Dict, List
 
+from repro import engine
 from repro.experiments import registry
 from repro.experiments.common import ExperimentResult, ShapeCheck, scaled
 from repro.experiments.registry import ExperimentSpec, GridPoint, PointContext
 from repro.harness.report import Table
-from repro.sim.kernel import Simulator
 
 _MOD = 1_000_000_007
 _ACTORS = 64
@@ -44,8 +44,31 @@ def _grid(scale: float) -> List[GridPoint]:
 def _run_point(params: Dict[str, Any], ctx: PointContext) -> Dict[str, Any]:
     target = int(params["target_events"])
     per_actor = max(1, target // _ACTORS)
-    sim = Simulator(seed=ctx.seed)
+    sim = engine.build_simulator(seed=ctx.seed)
     rng = sim.rng.stream("micro_kernel")
+
+    if engine.backend_name(sim) == "compiled":
+        # The compiled workload drives the same actors/victim/heartbeat
+        # from C — identical scheduling order and rng consumption (its
+        # randrange(0, 8) replicates CPython's getrandbits rejection
+        # sampling bit-for-bit), so the checksum pins the same dispatch
+        # order the python closures produce.
+        from repro import _ckernel
+
+        workload = _ckernel.DispatchWorkload(
+            sim, rng, per_actor, _ACTORS, _CANCEL_EVERY, _MOD
+        )
+        sim.run()
+        return {
+            "target_events": target,
+            "fired": workload.fired,
+            "cancelled": workload.cancelled,
+            "daemon_ticks": workload.daemon_ticks,
+            "events_processed": sim.events_processed,
+            "checksum": workload.checksum,
+            "sim_ms": sim.now,
+        }
+
     state = {"fired": 0, "checksum": 0, "cancelled": 0, "daemon_ticks": 0}
 
     def victim() -> None:  # pragma: no cover - cancelled before it can fire
@@ -135,8 +158,9 @@ SPEC = registry.register(
 )
 
 
-def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
-    return SPEC.run(seed=seed, scale=scale)
+def run(*_args: object, **_kwargs: object) -> None:
+    """Removed pre-registry entry point; raises with the replacement."""
+    registry.removed_entry_point(SPEC.id)
 
 
 def main() -> None:

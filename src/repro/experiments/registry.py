@@ -32,7 +32,6 @@ output exactly.
 from __future__ import annotations
 
 import hashlib
-import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
@@ -104,7 +103,6 @@ class ExperimentSpec:
     run_point: RunPoint
     reduce: Reduce
     derive_seeds: bool = True      # False: points see the root seed verbatim
-    legacy: bool = False           # wraps a pre-registry run(seed, scale)
 
     def seed_for(self, root_seed: int, point: GridPoint) -> int:
         if not self.derive_seeds:
@@ -197,20 +195,23 @@ def get(name: str) -> ExperimentSpec:
 
 
 # ----------------------------------------------------------------------
-# Legacy driver adaptation.
+# Single-point adaptation for whole-run drivers.
 # ----------------------------------------------------------------------
-def register_legacy(
+def single_point_spec(
     experiment_id: str,
     figure: str,
     title: str,
     module: str,
     run_fn: Callable[..., ExperimentResult],
 ) -> ExperimentSpec:
-    """Wrap a pre-registry ``run(seed, scale)`` driver as a one-point spec.
+    """Build (without registering) a one-point spec for a whole-run driver.
 
-    The single point runs the whole driver and serialises its result dict;
-    ``derive_seeds`` stays off so output is byte-identical to the historic
-    entry point.  These drivers gain caching and registry discovery but not
+    Some figures are a single end-to-end simulation rather than a sweep
+    (F7's CDF pair, T1's RTT matrix, the fault scenarios); their drivers
+    produce the complete :class:`ExperimentResult` in one call.  The grid
+    is the single point ``"all"`` and ``derive_seeds`` stays off, so output
+    is byte-identical to running the driver directly with the root seed.
+    These experiments gain caching and registry discovery but not
     intra-experiment parallelism.
     """
 
@@ -223,31 +224,28 @@ def register_legacy(
     def reduce(rows: List[Dict[str, Any]], ctx: PointContext) -> ExperimentResult:
         return ExperimentResult.from_dict(rows[0])
 
-    return register(
-        ExperimentSpec(
-            id=experiment_id,
-            figure=figure,
-            title=title,
-            module=module,
-            grid=grid,
-            run_point=run_point,
-            reduce=reduce,
-            derive_seeds=False,
-            legacy=True,
-        )
+    return ExperimentSpec(
+        id=experiment_id,
+        figure=figure,
+        title=title,
+        module=module,
+        grid=grid,
+        run_point=run_point,
+        reduce=reduce,
+        derive_seeds=False,
     )
 
 
-def warn_deprecated_entry_point(experiment_id: str) -> None:
-    """One warning text for every old ``module.run()`` shim.
+def removed_entry_point(experiment_id: str) -> None:
+    """Raise for the retired pre-registry ``module.run()`` entry points.
 
-    The module-level ``run(seed, scale)`` functions remain for one release;
-    use ``registry.get(id).run(...)`` or ``python -m repro run`` instead.
+    The module-level ``run(seed, scale)`` wrappers were deprecated when the
+    registry landed and are now gone; the registry spec is the only driver
+    API.  Every old shim calls this so stale call sites fail with the
+    replacement spelled out instead of an AttributeError.
     """
-    warnings.warn(
-        f"repro.experiments.{experiment_id}.run() is deprecated and will be "
-        f"removed in the next release; use "
-        f"repro.experiments.registry.get({experiment_id!r}).run(...) instead",
-        DeprecationWarning,
-        stacklevel=3,
+    raise RuntimeError(
+        f"repro.experiments.{experiment_id}.run() has been removed; use "
+        f"repro.experiments.registry.get({experiment_id!r}).run(seed=..., "
+        f"scale=...) or `python -m repro run {experiment_id}` instead"
     )

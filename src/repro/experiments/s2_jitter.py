@@ -124,9 +124,9 @@ SPEC = registry.register(
 )
 
 
-def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
-    registry.warn_deprecated_entry_point(SPEC.id)
-    return SPEC.run(seed=seed, scale=scale)
+def run(*_args: object, **_kwargs: object) -> None:
+    """Removed pre-registry entry point; raises with the replacement."""
+    registry.removed_entry_point(SPEC.id)
 
 
 def main() -> None:

@@ -9,15 +9,14 @@ the module contract match every other driver.
 from __future__ import annotations
 
 from repro.experiments import registry
-from repro.experiments.common import ExperimentResult
 from repro.scale.experiment import SPEC
 
 __all__ = ["SPEC", "run", "main"]
 
 
-def run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
-    registry.warn_deprecated_entry_point(SPEC.id)
-    return SPEC.run(seed=seed, scale=scale)
+def run(*_args: object, **_kwargs: object) -> None:
+    """Removed pre-registry entry point; raises with the replacement."""
+    registry.removed_entry_point(SPEC.id)
 
 
 def main() -> None:

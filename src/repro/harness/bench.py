@@ -30,15 +30,15 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.metrics import install as install_metrics
-from repro.obs.metrics import uninstall as uninstall_metrics
 from repro.stats.bootstrap import ConfidenceInterval, diff_of_means_ci
 
-#: Current write schema.  v2 adds two optional per-point fields —
+#: Current write schema.  v2 adds optional per-point fields —
 #: ``users_per_wall_s`` (simulated users sustained per wall-second, the
-#: scale trajectory) and ``shards`` — without touching the v1 required
-#: set, so ``--compare`` keeps working against old v1 baselines.
+#: scale trajectory), ``shards``, and ``backend`` (the simulator kernel
+#: the point was pinned to) — without touching the v1 required set, so
+#: ``--compare`` keeps working against old v1 baselines.
 SCHEMA = "repro-bench-v2"
 SCHEMA_V1 = "repro-bench-v1"
 ACCEPTED_SCHEMAS = (SCHEMA, SCHEMA_V1)
@@ -50,17 +50,28 @@ class BenchFormatError(ValueError):
 
 @dataclass(frozen=True)
 class BenchPoint:
-    """One benchmarked configuration: a registry experiment at fixed scale."""
+    """One benchmarked configuration: a registry experiment at fixed scale.
+
+    ``backend`` pins the simulator kernel (see :mod:`repro.engine`):
+    ``"python"``/``"compiled"`` force one side, ``"auto"`` takes whatever
+    the checkout resolves to.  Points pinned to ``"compiled"`` are
+    silently skipped when the extension is not built, so one curated set
+    serves toolchain-less checkouts too.
+    """
 
     label: str
     experiment_id: str
     seed: int = 0
     scale: float = 0.1
+    backend: str = "auto"
 
 
-#: The tracked set: one point per engine surface worth watching.
+#: The tracked set: one point per engine surface worth watching.  The
+#: kernel dispatch microbenchmark runs once per backend — their ratio is
+#: the headline compiled-kernel speedup.
 CURATED: List[BenchPoint] = [
-    BenchPoint("kernel_dispatch", "micro_kernel_dispatch", scale=0.1),
+    BenchPoint("kernel_dispatch", "micro_kernel_dispatch", scale=0.1, backend="python"),
+    BenchPoint("kernel_dispatch_c", "micro_kernel_dispatch", scale=0.1, backend="compiled"),
     BenchPoint("f6_commit", "f6_commit_latency", scale=0.1),
     BenchPoint("a2_fast_paxos", "a2_fast_paxos", scale=0.1),
     BenchPoint("s2_jitter", "s2_jitter", scale=0.1),
@@ -71,7 +82,8 @@ CURATED: List[BenchPoint] = [
 
 #: The smoke set (CI, ``--quick``): seconds, not a minute.
 QUICK: List[BenchPoint] = [
-    BenchPoint("kernel_dispatch", "micro_kernel_dispatch", scale=0.05),
+    BenchPoint("kernel_dispatch", "micro_kernel_dispatch", scale=0.05, backend="python"),
+    BenchPoint("kernel_dispatch_c", "micro_kernel_dispatch", scale=0.05, backend="compiled"),
     BenchPoint("f6_commit", "f6_commit_latency", scale=0.05),
     BenchPoint("a2_fast_paxos", "a2_fast_paxos", scale=0.05),
     BenchPoint("scaleout", "scaleout_1m", scale=0.05),
@@ -101,6 +113,7 @@ def run_bench(
     progress: Optional[Any] = None,
 ) -> Dict[str, Any]:
     """Execute every point ``repeats`` times; return the snapshot document."""
+    from repro import engine
     from repro.harness.parallel import SweepOptions, run_sweep
 
     if repeats < 1:
@@ -118,9 +131,20 @@ def run_bench(
         "git_rev": git_rev(),
         "created_at": int(time.time()),
         "repeats": repeats,
+        "engine": engine.describe(),
         "points": {},
     }
     for point in points:
+        backend = engine.normalize_backend(point.backend)
+        if backend == "compiled" and not engine.compiled_available():
+            note(
+                f"[bench] {point.label}: skipped "
+                "(compiled kernel not built on this checkout)"
+            )
+            continue
+        overrides = (
+            {"engine.backend": backend} if backend != "auto" else None
+        )
         wall_s: List[float] = []
         events_per_sec: List[float] = []
         users_per_wall_s: List[float] = []
@@ -130,16 +154,14 @@ def run_bench(
         snapshot: Dict[str, Any] = {}
         for repeat in range(repeats):
             registry = MetricsRegistry()
-            install_metrics(registry)
-            try:
+            with obs.session(metrics=registry):
                 run = run_sweep(
                     point.experiment_id,
                     seed=point.seed,
                     scale=point.scale,
+                    overrides=overrides,
                     options=SweepOptions(jobs=1, cache=None),
                 )
-            finally:
-                uninstall_metrics()
             wall_s.append(run.wall_s)
             if run.perf is not None:
                 events_per_sec.append(run.perf.events_per_sec)
@@ -167,6 +189,7 @@ def run_bench(
             "experiment": point.experiment_id,
             "seed": point.seed,
             "scale": point.scale,
+            "backend": backend,
             "wall_s": wall_s,
             "kernel_events_per_sec": events_per_sec,
             "users_per_wall_s": users_per_wall_s,
@@ -175,6 +198,11 @@ def run_bench(
             "result_digest": digest,
             "metrics": snapshot,
         }
+    if not document["points"]:
+        raise ValueError(
+            "every bench point was skipped — the selected set needs the "
+            "compiled kernel, which is not built on this checkout"
+        )
     return document
 
 
@@ -255,6 +283,11 @@ def validate_bench(document: Any) -> Dict[str, Any]:
         ):
             raise BenchFormatError(
                 f"point {label!r}: shards must be a non-negative integer"
+            )
+        backend = point.get("backend")
+        if backend is not None and not isinstance(backend, str):
+            raise BenchFormatError(
+                f"point {label!r}: backend must be a string"
             )
     return document
 

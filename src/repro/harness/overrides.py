@@ -30,6 +30,23 @@ class ConfigOverrideError(ValueError):
     """A ``--set key=value`` override that cannot be applied."""
 
 
+#: Override namespaces consumed outside the config dataclasses: the
+#: checker campaign (``check.*``), the sharded scaleout driver
+#: (``scale.*``), and the harness's backend selection
+#: (``engine.backend``).  Config application must skip them and CLI
+#: validation must let them through.
+RESERVED_NAMESPACES = ("check.", "scale.", "engine.")
+
+
+def strip_reserved(overrides: Mapping[str, str]) -> Dict[str, str]:
+    """``overrides`` minus the :data:`RESERVED_NAMESPACES` keys."""
+    return {
+        key: value
+        for key, value in overrides.items()
+        if not key.startswith(RESERVED_NAMESPACES)
+    }
+
+
 _TRUE = frozenset({"1", "true", "yes", "on"})
 _FALSE = frozenset({"0", "false", "no", "off"})
 _NONE = frozenset({"none", "null", "nil", ""})

@@ -37,7 +37,7 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
 
-from repro import obs
+from repro import engine, obs
 from repro.experiments import common
 from repro.experiments.common import ExperimentResult
 from repro.experiments.registry import ExperimentSpec, GridPoint, PointContext
@@ -141,7 +141,10 @@ def _execute_point(
     # digests would diverge.
     reset_txid_counter()
     ctx = PointContext(seed=seed, scale=scale, overrides=overrides)
-    with common.active_overrides(overrides):
+    # ``--set engine.backend=...`` selects the simulator kernel for the
+    # point.  Wrapping here (not in run_sweep) covers serial and worker
+    # execution with the same seam; absent/auto is a no-op.
+    with engine.use(overrides.get("engine.backend")), common.active_overrides(overrides):
         if capture is not None:
             collector = _RecordCollector()
             categories = capture["categories"]

@@ -76,6 +76,7 @@ __all__ = [
     "NULL_TRACER",
     "FlightRecorder",
     "MetricsRegistry",
+    "ObsSession",
     "ProfileReport",
     "Sink",
     "Span",
@@ -99,6 +100,7 @@ __all__ = [
     "record_from_dict",
     "record_to_dict",
     "render_profile",
+    "session",
     "uninstall",
     "uninstall_metrics",
     "write_chrome_trace",
@@ -140,3 +142,82 @@ def collect_metrics(
         yield registry
     finally:
         _metrics_module.uninstall()
+
+
+class ObsSession:
+    """Handles yielded by :func:`session`: whatever was installed."""
+
+    def __init__(self, sinks, metrics, history) -> None:
+        self.sinks = tuple(sinks)
+        #: The installed :class:`MetricsRegistry`, or None.
+        self.metrics: Optional[MetricsRegistry] = metrics
+        #: The installed ``repro.check.history.HistoryRecorder``, or None.
+        self.history = history
+
+    def __repr__(self) -> str:
+        parts = [f"sinks={len(self.sinks)}"]
+        if self.metrics is not None:
+            parts.append("metrics")
+        if self.history is not None:
+            parts.append("history")
+        return f"<ObsSession {' '.join(parts)}>"
+
+
+@contextmanager
+def session(
+    *sinks: Sink,
+    categories: Optional[Iterable[str]] = DEFAULT_CATEGORIES,
+    metrics=None,
+    history: bool = False,
+) -> Iterator[ObsSession]:
+    """One process-wide observability session.
+
+    Unifies the three install patterns that previously had to be stacked
+    by hand — event capture (:func:`capture`), metrics collection
+    (:func:`collect_metrics`), and client-history recording
+    (``HistoryRecorder().attach(sim)``)::
+
+        with obs.session(recorder, metrics=True, history=True) as s:
+            run_experiment(config)
+        s.metrics.snapshot()
+        s.history.history().check(...)
+
+    ``metrics`` is ``True`` for a fresh :class:`MetricsRegistry`, an
+    existing registry to install, or ``None``/``False`` for no metrics.
+    ``history=True`` adds a ``HistoryRecorder`` to the capture sinks (the
+    ``history`` category is force-included so the recorder actually sees
+    its events).  Everything installed is uninstalled on exit, in reverse
+    order.  Per-simulator attachment (``HistoryRecorder().attach(sim)``)
+    remains available for processes hosting several simulators at once,
+    e.g. the scale shards.
+    """
+    capture_sinks = list(sinks)
+    history_recorder = None
+    if history:
+        from repro.check.history import HistoryRecorder
+
+        history_recorder = HistoryRecorder()
+        capture_sinks.append(history_recorder)
+        if categories is not None:
+            categories = frozenset(categories) | {"history"}
+    registry: Optional[MetricsRegistry] = None
+    if metrics is True:
+        registry = MetricsRegistry()
+    elif metrics:
+        registry = metrics
+    if not capture_sinks and registry is None:
+        raise ValueError(
+            "obs.session(...) would install nothing: pass sinks, "
+            "metrics=..., and/or history=True"
+        )
+    if capture_sinks:
+        install(capture_sinks, categories=categories)
+    if registry is not None:
+        _metrics_module.install(registry)
+    try:
+        yield ObsSession(capture_sinks, registry, history_recorder)
+    finally:
+        if registry is not None:
+            _metrics_module.uninstall()
+        if capture_sinks:
+            uninstall()

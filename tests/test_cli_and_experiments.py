@@ -76,17 +76,18 @@ class TestCli:
 
 
 class TestExperimentContract:
-    """Every registered driver imports and exposes the run/main contract."""
+    """Every registered driver imports and exposes the SPEC/main contract."""
 
     @pytest.mark.parametrize("experiment_id", ALL_EXPERIMENTS)
     def test_driver_module_contract(self, experiment_id):
         module = importlib.import_module(f"repro.experiments.{experiment_id}")
-        assert callable(module.run)
+        assert module.SPEC.id == experiment_id
         assert callable(module.main)
 
     def test_cheapest_driver_returns_result_structure(self):
-        module = importlib.import_module("repro.experiments.t1_rtt_matrix")
-        result = module.run(seed=1, scale=0.1)
+        from repro.experiments import registry
+
+        result = registry.get("t1_rtt_matrix").run(seed=1, scale=0.1)
         assert isinstance(result, ExperimentResult)
         assert result.tables
         assert result.checks
@@ -94,9 +95,11 @@ class TestExperimentContract:
         assert result.all_checks_pass
 
     def test_seed_changes_results(self):
-        module = importlib.import_module("repro.experiments.t1_rtt_matrix")
-        a = module.run(seed=1, scale=0.1)
-        b = module.run(seed=2, scale=0.1)
+        from repro.experiments import registry
+
+        spec = registry.get("t1_rtt_matrix")
+        a = spec.run(seed=1, scale=0.1)
+        b = spec.run(seed=2, scale=0.1)
         assert a.data["worst_relative_error"] != b.data["worst_relative_error"]
 
 
@@ -114,8 +117,9 @@ class TestJsonExport:
     def test_to_dict_is_json_encodable(self):
         import json
 
-        module = importlib.import_module("repro.experiments.t1_rtt_matrix")
-        result = module.run(seed=0, scale=0.1)
+        from repro.experiments import registry
+
+        result = registry.get("t1_rtt_matrix").run(seed=0, scale=0.1)
         json.dumps(result.to_dict())  # must not raise
 
 

@@ -309,11 +309,11 @@ class TestProfiler:
 
 class TestReplayDeterminism:
     def _digest(self, seed):
-        from repro.experiments import f6_commit_latency
+        from repro.experiments.f6_commit_latency import SPEC
 
         recorder = FlightRecorder(capacity=500_000)
         with obs.capture(recorder):
-            f6_commit_latency.run(seed=seed, scale=0.05)
+            SPEC.run(seed=seed, scale=0.05)
         assert recorder.evicted == 0
         assert len(recorder) > 1000
         return recorder.digest()
@@ -325,3 +325,54 @@ class TestReplayDeterminism:
 
     def test_different_seed_different_digest(self):
         assert self._digest(3) != self._digest(4)
+
+
+class TestObsSession:
+    """obs.session unifies capture + metrics install + history recording."""
+
+    def _commit_one(self, seed=7):
+        cluster = Cluster(ClusterConfig(seed=seed))
+        cluster.load({"k": 0})
+        session = PlanetSession(cluster, "us_west")
+        session.submit(session.transaction().write("k", 1))
+        cluster.run()
+
+    def test_installs_and_uninstalls_everything(self):
+        recorder = FlightRecorder()
+        with obs.session(recorder, metrics=True, history=True) as handle:
+            assert obs.capture_active()
+            assert obs.metrics_active()
+            self._commit_one()
+        assert not obs.capture_active()
+        assert not obs.metrics_active()
+        assert handle.metrics.snapshot()["counters"]["sim.events"] > 0
+        assert len(handle.history.history().ops) > 0
+        assert len(recorder) > 0
+
+    def test_metrics_accepts_existing_registry(self):
+        registry = obs.MetricsRegistry()
+        with obs.session(metrics=registry) as handle:
+            assert handle.metrics is registry
+            self._commit_one()
+        assert registry.snapshot()["counters"]["sim.events"] > 0
+
+    def test_history_category_force_included(self):
+        # DEFAULT_CATEGORIES contains "history" already; a narrowed set
+        # must still reach the recorder.
+        with obs.session(categories={"paxos"}, history=True) as handle:
+            self._commit_one()
+        assert len(handle.history.history().ops) > 0
+
+    def test_empty_session_rejected(self):
+        with pytest.raises(ValueError, match="install nothing"):
+            with obs.session():
+                pass
+
+    def test_matches_manual_stacking_digests(self):
+        via_session = FlightRecorder()
+        with obs.session(via_session):
+            self._commit_one()
+        via_capture = FlightRecorder()
+        with obs.capture(via_capture):
+            self._commit_one()
+        assert via_session.digest() == via_capture.digest()

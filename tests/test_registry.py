@@ -1,5 +1,5 @@
 """Tests for the experiment registry: discovery, prefix matching, seed
-derivation, legacy adaptation, and the deprecation shims."""
+derivation, single-point adaptation, and the removed entry points."""
 
 from __future__ import annotations
 
@@ -97,34 +97,36 @@ class TestSeedDerivation:
         assert legacy.seed_for(7, point) == 7
 
 
-class TestLegacyAdaptation:
-    def test_legacy_specs_flagged(self):
+class TestSinglePointAdaptation:
+    def test_whole_run_drivers_are_single_point(self):
         for experiment_id in ("t1_rtt_matrix", "a3_admission_policy", "t3_tpcw_mix"):
             spec = registry.get(experiment_id)
-            assert spec.legacy
             assert not spec.derive_seeds
             assert [point.key for point in spec.grid(1.0)] == ["all"]
 
-    def test_grid_specs_not_flagged(self):
+    def test_grid_specs_derive_seeds(self):
         for experiment_id in ("f6_commit_latency", "f9_threshold_sweep"):
             spec = registry.get(experiment_id)
-            assert not spec.legacy
             assert spec.derive_seeds
             assert len(spec.grid(1.0)) > 1
 
-    def test_legacy_spec_run_matches_old_entry_point(self):
-        module = importlib.import_module("repro.experiments.t1_rtt_matrix")
+    def test_single_point_spec_runs_whole_driver(self):
         spec = registry.get("t1_rtt_matrix")
-        via_spec = spec.run(seed=3, scale=0.1)
-        with pytest.warns(DeprecationWarning, match="t1_rtt_matrix"):
-            via_shim = module.run(seed=3, scale=0.1)
-        assert isinstance(via_spec, ExperimentResult)
-        assert via_spec.to_dict() == via_shim.to_dict()
+        result = spec.run(seed=3, scale=0.1)
+        assert isinstance(result, ExperimentResult)
+        assert result.all_checks_pass
 
     @pytest.mark.parametrize("experiment_id", ALL_EXPERIMENTS)
-    def test_every_module_exposes_spec_and_deprecated_run(self, experiment_id):
+    def test_every_module_exposes_spec_and_main(self, experiment_id):
         module = importlib.import_module(f"repro.experiments.{experiment_id}")
         assert module.SPEC.id == experiment_id
         assert module.SPEC is registry.get(experiment_id)
-        assert callable(module.run)
         assert callable(module.main)
+
+    @pytest.mark.parametrize("experiment_id", ALL_EXPERIMENTS)
+    def test_removed_run_entry_point_names_replacement(self, experiment_id):
+        """The pre-registry ``module.run()`` wrappers are gone; stale call
+        sites get the registry replacement spelled out, not AttributeError."""
+        module = importlib.import_module(f"repro.experiments.{experiment_id}")
+        with pytest.raises(RuntimeError, match="registry.get"):
+            module.run(seed=0, scale=0.1)

@@ -8,15 +8,24 @@ paths special-case: same-instant tie-breaking, cancel-then-fire,
 daemon-only drain, and arbitrary ``run(until=...)`` / ``max_events``
 interleavings.  Both simulators execute the same generated program; any
 divergence in firing order, clock, or event count is a kernel bug.
+
+Every property runs against each available backend (the pure-python
+kernel always; the compiled ``repro._ckernel`` port when built), so the
+C kernel is held to the same reference semantics — and one extra
+property asserts the two backends agree with *each other* directly.
 """
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro import engine
 from repro.obs.metrics import MetricsRegistry, install, uninstall
-from repro.sim.kernel import Simulator
+
+#: Every kernel implementation importable on this checkout.
+BACKENDS = ["python"] + (["compiled"] if engine.compiled_available() else [])
 
 
 class _NaiveEvent:
@@ -120,8 +129,8 @@ _run_plan = st.lists(
 ).map(lambda plan: plan + [("drain", None)])
 
 
-def _drive_real(initial, plan):
-    sim = Simulator(seed=0)
+def _drive_real(initial, plan, backend="python"):
+    sim = engine.get_kernel(backend)(seed=0)
     fired = []
     live = []  # cancellable events, newest last (mirrors the naive side)
 
@@ -187,33 +196,47 @@ def _drive_naive(initial, plan):
     return sim.fired, sim.now, sim.events_processed
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 class TestFastLoopMatchesReference:
     @given(_initial, _run_plan)
     @settings(max_examples=200, deadline=None)
-    def test_same_firing_sequence(self, initial, plan):
-        real = _drive_real(initial, plan)
+    def test_same_firing_sequence(self, backend, initial, plan):
+        real = _drive_real(initial, plan, backend)
         naive = _drive_naive(initial, plan)
         assert real == naive
 
     @given(_initial, _run_plan)
     @settings(max_examples=50, deadline=None)
-    def test_metrics_installed_does_not_change_order(self, initial, plan):
+    def test_metrics_installed_does_not_change_order(self, backend, initial, plan):
         """The batched metrics loop fires the same sequence as the bare
         loop, and its flushed counter equals the dispatch count."""
-        bare = _drive_real(initial, plan)
+        bare = _drive_real(initial, plan, backend)
         registry = MetricsRegistry()
         install(registry)
         try:
-            observed = _drive_real(initial, plan)
+            observed = _drive_real(initial, plan, backend)
         finally:
             uninstall()
         assert observed == bare
         assert registry.counter("sim.events") == observed[2]
 
 
+@pytest.mark.skipif(
+    not engine.compiled_available(), reason="compiled kernel not built"
+)
+class TestBackendsAgree:
+    @given(_initial, _run_plan)
+    @settings(max_examples=100, deadline=None)
+    def test_python_and_compiled_fire_identically(self, initial, plan):
+        assert _drive_real(initial, plan, "python") == _drive_real(
+            initial, plan, "compiled"
+        )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
 class TestFastLoopScenarios:
-    def test_same_instant_ties_fire_in_scheduling_order(self):
-        sim = Simulator(seed=0)
+    def test_same_instant_ties_fire_in_scheduling_order(self, backend):
+        sim = engine.get_kernel(backend)(seed=0)
         fired = []
         for index in range(10):
             sim.schedule(5.0, fired.append, index)
@@ -221,8 +244,8 @@ class TestFastLoopScenarios:
         assert fired == list(range(10))
         assert sim.now == 5.0
 
-    def test_cancel_then_fire_skips_only_the_cancelled(self):
-        sim = Simulator(seed=0)
+    def test_cancel_then_fire_skips_only_the_cancelled(self, backend):
+        sim = engine.get_kernel(backend)(seed=0)
         fired = []
         keep = sim.schedule(1.0, fired.append, "keep")
         victim = sim.schedule(1.0, fired.append, "victim")
@@ -233,8 +256,8 @@ class TestFastLoopScenarios:
         assert fired == ["keep", "later"]
         assert not keep.cancelled and later is not None
 
-    def test_daemon_only_queue_drains_immediately(self):
-        sim = Simulator(seed=0)
+    def test_daemon_only_queue_drains_immediately(self, backend):
+        sim = engine.get_kernel(backend)(seed=0)
         ticks = []
 
         def tick():
@@ -246,8 +269,8 @@ class TestFastLoopScenarios:
         assert ticks == []
         assert sim.pending_events == 1  # the daemon is still queued
 
-    def test_daemons_run_up_to_an_explicit_horizon(self):
-        sim = Simulator(seed=0)
+    def test_daemons_run_up_to_an_explicit_horizon(self, backend):
+        sim = engine.get_kernel(backend)(seed=0)
         ticks = []
 
         def tick():
@@ -259,10 +282,10 @@ class TestFastLoopScenarios:
         assert ticks == [10.0, 20.0, 30.0]
         assert sim.now == 35.0
 
-    def test_cancelled_foreground_does_not_keep_daemons_alive(self):
+    def test_cancelled_foreground_does_not_keep_daemons_alive(self, backend):
         """Eager cancel accounting: once real work is cancelled, a pending
         daemon no longer runs during an unbounded drain."""
-        sim = Simulator(seed=0)
+        sim = engine.get_kernel(backend)(seed=0)
         fired = []
         sim.schedule_daemon(1.0, fired.append, "daemon")
         work = sim.schedule(5.0, fired.append, "work")
@@ -271,8 +294,8 @@ class TestFastLoopScenarios:
         assert fired == []
         assert sim.foreground_pending == 0
 
-    def test_max_events_counts_fired_not_discarded(self):
-        sim = Simulator(seed=0)
+    def test_max_events_counts_fired_not_discarded(self, backend):
+        sim = engine.get_kernel(backend)(seed=0)
         fired = []
         victims = [sim.schedule(float(i), fired.append, f"v{i}") for i in range(3)]
         for victim in victims:
