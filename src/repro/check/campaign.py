@@ -46,12 +46,15 @@ def run_schedule(
     intensity: float = DEFAULT_INTENSITY,
     broken: bool = False,
     plan=None,
+    with_history: bool = False,
 ) -> Dict[str, Any]:
     """Run one fault schedule under history capture and check it.
 
     ``plan`` overrides the seed-derived :func:`~repro.faults.campaign_plan`
     — that is how replay re-executes a *stored* plan even if the drawing
-    code later changes.  Returns a JSON-safe row (the sweep contract).
+    code later changes.  Returns a JSON-safe row (the sweep contract);
+    ``with_history`` adds the serialised history itself (the predictive
+    checker consumes it) at the cost of a much larger row.
     """
     from repro.check.checker import CheckerConfig, check_history
     from repro.check.history import HistoryRecorder
@@ -117,7 +120,7 @@ def run_schedule(
     history = recorder.history()
     recorder.detach(cluster.sim)
     violations = check_history(history, CheckerConfig.for_plan(plan))
-    return {
+    row = {
         "seed": seed,
         "plan": plan.to_dict(),
         "plan_text": plan.describe(),
@@ -127,6 +130,9 @@ def run_schedule(
         "violations": [v.to_dict() for v in violations],
         "broken": bool(broken),
     }
+    if with_history:
+        row["history"] = history.to_dict()
+    return row
 
 
 # ----------------------------------------------------------------------

@@ -33,7 +33,21 @@ falsify them:
   outcome, punching legitimate holes in the client-visible version chain.
 
 :meth:`CheckerConfig.for_plan` derives the right gating from a
-:class:`~repro.faults.FaultPlan`.
+:class:`~repro.faults.FaultPlan` — but instead of flipping the global
+booleans it *scopes* the excusals to the crashed coordinator itself
+(``coordinator_crashes``): only transactions of the crashed data center
+may go undecided, and only those already in flight at the crash get their
+keys excused from chain/read checks.  An undecided transaction in a
+healthy data center is still a violation.
+
+Transactions carry a declared isolation level (the ``iso`` begin field;
+absent means ``serializable``).  Relaxed-write levels change what counts
+as a violation: a version-slot collision is a *permitted* lost update
+unless two strict-level transactions claim it, and ``read-committed``
+transactions are exempt from the session-guarantee checks (their reads
+impose and respect no session floors).  Predicting which anomalies a
+level permits — rather than observing them — is the job of
+:mod:`repro.check.predict`.
 
 Independent of the gating, version-chain and read-validity checks skip any
 key written by a transaction with an *unknown durable outcome*: one that
@@ -52,6 +66,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.check.history import History, HistoryOp
+from repro.ops import RELAXED_WRITE_LEVELS
 
 #: Abort reasons that prove the transaction's options were never chosen:
 #: ``conflict`` means a commit quorum was provably impossible, ``admission``
@@ -108,36 +123,71 @@ class Violation:
 
 @dataclass(frozen=True)
 class CheckerConfig:
-    """Which configuration-gated checks to run (see module docstring)."""
+    """Which configuration-gated checks to run (see module docstring).
+
+    ``expect_decided`` / ``check_version_chain`` remain as blunt global
+    switches for callers that know nothing about the fault schedule.
+    ``coordinator_crashes`` is the precise alternative: ``(dc_name,
+    at_ms)`` pairs scoping the crash excusals to the crashed coordinator's
+    data center (for the decided check) and its in-flight window (for the
+    chain/read-validity key excusals).
+    """
 
     expect_decided: bool = True
     check_version_chain: bool = True
+    coordinator_crashes: Tuple[Tuple[str, float], ...] = ()
 
     @classmethod
     def for_plan(cls, plan) -> "CheckerConfig":
-        """Gate checks a :class:`~repro.faults.FaultPlan` can falsify.
+        """Derive gating from a :class:`~repro.faults.FaultPlan`.
 
         Only coordinator crashes weaken what is checkable: they strand
         undecided transactions and let orphan recovery commit invisibly.
         Partitions, loss windows, spikes and *replica* crashes leave every
-        decision client-visible, so the full checker applies.
+        decision client-visible, so the full checker applies.  Crashes no
+        longer disable the decided/chain checks globally — the checker
+        excuses exactly the transactions the crash can explain: those of
+        the crashed data center (which legitimately never decide), and,
+        for the chain/read checks, only the ones already in flight when
+        the coordinator died.
         """
-        crashed = bool(getattr(plan, "coordinator_crashes", ())) if plan else False
-        return cls(expect_decided=not crashed, check_version_chain=not crashed)
+        crashes = (
+            tuple(
+                (str(crash.dc_name), float(crash.at_ms))
+                for crash in getattr(plan, "coordinator_crashes", ())
+            )
+            if plan is not None
+            else ()
+        )
+        return cls(coordinator_crashes=crashes)
+
+    def _crash_at(self, session: str) -> Optional[float]:
+        """Crash time of the session's data center, if it crashed.
+
+        Session ids are minted as ``<dc_name>/s<n>`` by the cluster.
+        """
+        dc_name = session.split("/", 1)[0]
+        for crashed_dc, at_ms in self.coordinator_crashes:
+            if crashed_dc == dc_name:
+                return at_ms
+        return None
 
 
 class _TxState:
     """Everything the checker accumulates about one transaction."""
 
     __slots__ = (
-        "session", "ryw", "begun", "mono_floors", "ryw_floors", "writes",
-        "write_keys", "guesses", "apologies", "outcome", "abort_reason",
+        "session", "ryw", "iso", "begun", "begin_at", "mono_floors",
+        "ryw_floors", "writes", "write_keys", "guesses", "apologies",
+        "outcome", "abort_reason",
     )
 
     def __init__(self) -> None:
         self.session = ""
         self.ryw = False
+        self.iso = "serializable"
         self.begun = False
+        self.begin_at = 0.0
         # Per-key floor snapshots taken at begin (see forward scan).
         self.mono_floors: Dict[str, int] = {}
         self.ryw_floors: Dict[str, int] = {}
@@ -186,8 +236,10 @@ def check_history(
         if kind == "begin":
             state = tx_state(op.txid)
             state.begun = True
+            state.begin_at = op.time_ms
             state.session = op.session
             state.ryw = bool(op.fields.get("ryw", False))
+            state.iso = str(op.fields.get("iso", "serializable"))
             wkeys = str(op.fields.get("wkeys", ""))
             state.write_keys = [key for key in wkeys.split(",") if key]
             # Snapshot the floors: reads of this tx must respect what the
@@ -203,6 +255,10 @@ def check_history(
             version = int(op.fields.get("version", -1))
             if version < 0:
                 continue  # engine without version tracking
+            if state.iso == "read-committed":
+                # Read-committed declares no session guarantees: its reads
+                # neither respect nor impose session floors.
+                continue
             mono_floor = state.mono_floors.get(key, -1)
             ryw_floor = state.ryw_floors.get(key, -1)
             if version < mono_floor:
@@ -243,7 +299,9 @@ def check_history(
             state.outcome = "committed"
             # Read-your-writes watermark: a committed WriteOp installed
             # read_version + 1; later reads of this session must see it.
-            if state.ryw:
+            # Relaxed-write levels may *lose* the write to a slot contest,
+            # so only strict-level commits advance the floor.
+            if state.ryw and state.iso not in RELAXED_WRITE_LEVELS:
                 session_floors = ryw.setdefault(state.session, {})
                 for write in state.writes:
                     if write.get("kind") != "w":
@@ -270,7 +328,16 @@ def check_history(
     for txid, state in txs.items():
         if not state.begun:
             continue
-        if state.outcome is None and config.expect_decided:
+        if (
+            state.outcome is None
+            and config.expect_decided
+            # A crashed coordinator legitimately strands its DC's
+            # transactions (both those in flight at the crash and those
+            # submitted to the dead coordinator afterwards); transactions
+            # of every *other* DC still have live timeout timers and must
+            # decide.
+            and config._crash_at(state.session) is None
+        ):
             violations.append(
                 Violation(
                     invariant="decided",
@@ -315,7 +382,12 @@ def check_history(
     # Keys a transaction with unknown durable outcome declared writes on:
     # orphan recovery may have installed those writes invisibly, so the
     # chain/read-validity checks must not treat the client-visible commits
-    # as the complete write history of the key.
+    # as the complete write history of the key.  Undecided transactions
+    # are excused only when the checker can explain them: either the
+    # caller disabled ``expect_decided`` wholesale (legacy gating), or the
+    # transaction was in flight at its own coordinator's crash.  A
+    # transaction submitted to an already-dead coordinator never proposed
+    # options, so its keys stay strictly checked.
     unknown_outcome_keys: Set[str] = set()
     for state in txs.values():
         if not state.begun or state.outcome == "committed":
@@ -325,6 +397,11 @@ def check_history(
             and state.abort_reason in DURABLE_ABORT_REASONS
         ):
             continue
+        if state.outcome is None:
+            crash_at = config._crash_at(state.session)
+            in_flight_at_crash = crash_at is not None and state.begin_at <= crash_at
+            if config.expect_decided and not in_flight_at_crash:
+                continue
         unknown_outcome_keys.update(state.write_keys)
 
     for txid, state in txs.items():
@@ -353,16 +430,26 @@ def check_history(
         for read_version, txid in writes:
             by_version.setdefault(read_version, []).append(txid)
         for read_version, txids in sorted(by_version.items()):
-            if len(txids) > 1:
+            # A slot collision is a violation only between transactions
+            # whose declared level *forbids* it: relaxed-write claimants
+            # (read-committed / monotonic-session) are a permitted lost
+            # update — the LWW contest resolves them — and belong to the
+            # predictive checker, not the observed one.
+            strict_claimants = [
+                txid for txid in txids
+                if txs[txid].iso not in RELAXED_WRITE_LEVELS
+            ]
+            if len(strict_claimants) > 1:
                 violations.append(
                     Violation(
                         invariant="duplicate-committed-version",
                         detail=(
-                            f"{len(txids)} transactions committed {key}@v"
-                            f"{read_version + 1} (lost update): {', '.join(txids)}"
+                            f"{len(strict_claimants)} transactions committed {key}@v"
+                            f"{read_version + 1} (lost update): "
+                            f"{', '.join(strict_claimants)}"
                         ),
                         key=key,
-                        txid=txids[0],
+                        txid=strict_claimants[0],
                     )
                 )
         if (

@@ -20,11 +20,15 @@ though the process-global txid counter differs between them.
 from __future__ import annotations
 
 import hashlib
+import json
 import re
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
 
 from repro.obs.events import Sink, TraceEvent
+
+#: On-disk history file format tag (``python -m repro check predict``).
+HISTORY_FORMAT = "repro.check/history-v1"
 
 #: Operation kinds a history may contain, in no particular order.  The
 #: ``engine_decision`` kind is engine metadata (per-record vote counts at
@@ -149,6 +153,26 @@ class History:
             hasher.update("|".join(parts).encode("utf-8"))
             hasher.update(b"\n")
         return hasher.hexdigest()
+
+
+def write_history(path: str, history: History) -> None:
+    """Serialise ``history`` as a tagged JSON file (stable key order)."""
+    payload = {"format": HISTORY_FORMAT, **history.to_dict()}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_history(path: str) -> History:
+    """Load a history file written by :func:`write_history`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("format") != HISTORY_FORMAT:
+        raise ValueError(
+            f"{path}: not a history file "
+            f"(format {payload.get('format')!r}, expected {HISTORY_FORMAT!r})"
+        )
+    return History.from_dict(payload)
 
 
 class HistoryRecorder(Sink):

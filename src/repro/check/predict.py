@@ -1,0 +1,431 @@
+"""Predictive analysis: anomalies a history's isolation levels *permit*.
+
+The observed-violation checker (:mod:`repro.check.checker`) only flags what
+one recorded execution actually did.  Following IsoPredict, this module
+asks the sharper question: given the dependency structure of one recorded
+history and each transaction's *declared* isolation level, could a
+feasible reordering — one every transaction's contract allows — expose an
+unserializable execution?
+
+The analysis builds an Adya-style direct serialization graph (DSG) over
+the committed transactions:
+
+* **wr** (write-read): the writer that installed version ``v`` of a key
+  precedes every transaction that read ``v``;
+* **ww** (write-write): claimants of consecutive version slots of a key,
+  in slot order; claimants of the *same* slot (possible only when a
+  relaxed-isolation write raced the slot) are ordered by the engine's
+  deterministic last-writer-wins contest, loser before winner;
+* **rw** (anti-dependency): a transaction that read version ``v``
+  precedes every claimant of slot ``v + 1`` — the read did not see it;
+* **so** (session order): consecutive committed transactions of one
+  session, in begin order.
+
+Keys written commutatively (escrow deltas) are excluded from the wr/ww/rw
+relations — deltas carry no version slot, so writer attribution is
+undefined for them.  Aborted transactions contribute nothing: their
+options never installed.
+
+A cycle in this graph is *reported* as a predicted anomaly only when the
+declared levels make the witnessed reordering feasible:
+
+(a) every pure anti-dependency hop originates at a transaction declared
+    weaker than ``serializable`` — a serializable transaction's reads pin
+    its position, so a cycle through it is not a feasible reordering;
+(b) the cycle contains at least one *weak* edge — one a relaxed level
+    permits to flip (an rw edge out of a relaxed reader, a wr edge into a
+    relaxed-write transaction, a contested ww slot, or session order
+    between two read-committed transactions).  In an all-serializable
+    history no edge is weak, so the predictor is provably silent;
+(c) every session-order hop on the cycle must itself be weak (both ends
+    read-committed): any stronger level enforces its session order, which
+    pins the cycle;
+(d) if every anti-dependency hop originates at ``snapshot``, the cycle
+    must contain two *adjacent* anti-dependency hops — Fekete et al.'s
+    dangerous structure.  Snapshot isolation forbids cycles without
+    consecutive vulnerable rw edges, so those are not reportable.
+
+Reported cycles are classified by shape: **lost-update** (a contested
+write slot), **non-monotonic-read** (a session-order hop), **write-skew**
+(anti-dependencies only), **long-fork** (two write-read plus two
+anti-dependency hops), else **unserializable**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, List, Set, Tuple
+
+from repro.check.history import History
+from repro.ops import RELAXED_WRITE_LEVELS
+
+#: Anomaly identifiers, in classification precedence order.
+ANOMALIES = (
+    "lost-update",
+    "non-monotonic-read",
+    "write-skew",
+    "long-fork",
+    "unserializable",
+)
+
+
+def _canon(txid: str) -> Tuple[int, str]:
+    """Deterministic transaction order (counter ids sort numerically)."""
+    return (len(txid), txid)
+
+
+def _claim_rank(relaxed: bool, txid: str):
+    """Mirror of the replica's LWW slot-contest order (see MdccReplica)."""
+    return (not relaxed, _canon(txid))
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One edge of the dependency graph, merged over all its reasons.
+
+    A single pair of transactions may be related through several keys and
+    several relation kinds at once; the cycle rules only care about the
+    *set* of kinds and whether any of them is weak.
+    """
+
+    src: str
+    dst: str
+    kinds: FrozenSet[str]          # subset of {"wr", "ww", "rw", "so"}
+    keys: Tuple[str, ...]          # keys carrying the dependency, sorted
+    weak: bool                     # some kind's level contract permits a flip
+    contested: bool                # carries a same-slot (LWW) ww edge
+
+    @property
+    def rw_only(self) -> bool:
+        return self.kinds == frozenset({"rw"})
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "src": self.src,
+            "dst": self.dst,
+            "kinds": sorted(self.kinds),
+            "keys": list(self.keys),
+            "weak": self.weak,
+            "contested": self.contested,
+        }
+
+
+@dataclass(frozen=True)
+class PredictedAnomaly:
+    """One predicted-unserializable witness: a feasible dependency cycle."""
+
+    anomaly: str
+    cycle: Tuple[str, ...]         # txids, rotated to start at the least
+    hops: Tuple[Hop, ...]          # hops[i] connects cycle[i] -> cycle[i+1]
+    levels: Dict[str, str]         # declared isolation per cycle txid
+    sessions: Dict[str, str]
+    description: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "anomaly": self.anomaly,
+            "cycle": list(self.cycle),
+            "hops": [hop.to_dict() for hop in self.hops],
+            "levels": dict(self.levels),
+            "sessions": dict(self.sessions),
+            "description": self.description,
+        }
+
+
+class _Tx:
+    __slots__ = ("txid", "session", "iso", "order", "reads", "claims")
+
+    def __init__(self, txid: str) -> None:
+        self.txid = txid
+        self.session = ""
+        self.iso = "serializable"
+        self.order = 0              # begin order, for session chains
+        self.reads: Dict[str, int] = {}
+        self.claims: Dict[str, int] = {}   # key -> claimed slot (rv + 1)
+
+
+def _committed_txs(history: History) -> Tuple[Dict[str, _Tx], Set[str]]:
+    """Extract committed transactions and the delta-written key set."""
+    txs: Dict[str, _Tx] = {}
+    outcomes: Dict[str, str] = {}
+    delta_keys: Set[str] = set()
+    order = 0
+    for op in history:
+        if op.kind == "begin":
+            tx = txs.get(op.txid)
+            if tx is None:
+                tx = txs[op.txid] = _Tx(op.txid)
+            tx.session = op.session
+            tx.iso = str(op.fields.get("iso", "serializable"))
+            tx.order = order
+            order += 1
+        elif op.kind == "read":
+            version = int(op.fields.get("version", -1))
+            if version < 0:
+                continue
+            tx = txs.get(op.txid)
+            if tx is not None:
+                tx.reads[str(op.fields.get("key", ""))] = version
+        elif op.kind == "write":
+            tx = txs.get(op.txid)
+            if tx is None:
+                continue
+            key = str(op.fields.get("key", ""))
+            if op.fields.get("kind") == "w":
+                read_version = int(op.fields.get("read_version", -1))
+                if read_version >= 0:
+                    tx.claims[key] = read_version + 1
+            else:
+                delta_keys.add(key)
+        elif op.kind in ("commit", "abort"):
+            outcomes[op.txid] = op.kind
+    committed = {
+        txid: tx for txid, tx in txs.items() if outcomes.get(txid) == "commit"
+    }
+    return committed, delta_keys
+
+
+def build_hops(history: History) -> Tuple[Dict[str, _Tx], List[Hop]]:
+    """Build the committed-transaction dependency graph of ``history``."""
+    txs, delta_keys = _committed_txs(history)
+
+    # Per-(key, slot) committed claimants, contest-ordered.
+    claimants: Dict[str, Dict[int, List[str]]] = {}
+    for txid in sorted(txs, key=_canon):
+        for key, slot in txs[txid].claims.items():
+            if key in delta_keys:
+                continue
+            claimants.setdefault(key, {}).setdefault(slot, []).append(txid)
+
+    # Raw directed edges: (src, dst) -> per-kind weakness and keys.
+    raw: Dict[Tuple[str, str], Dict[str, Any]] = {}
+
+    def relaxed(txid: str) -> bool:
+        return txs[txid].iso in RELAXED_WRITE_LEVELS
+
+    def add(src: str, dst: str, kind: str, key: str, weak: bool,
+            contested: bool = False) -> None:
+        if src == dst:
+            return
+        entry = raw.setdefault(
+            (src, dst), {"kinds": set(), "keys": set(), "weak": False,
+                         "contested": False}
+        )
+        entry["kinds"].add(kind)
+        if key:
+            entry["keys"].add(key)
+        entry["weak"] = entry["weak"] or weak
+        entry["contested"] = entry["contested"] or contested
+
+    for key, slots in claimants.items():
+        ordered_slots = sorted(slots)
+        for slot in ordered_slots:
+            group = slots[slot]
+            if len(group) > 1:
+                # Same-slot contest: losers precede the LWW winner.  Only
+                # possible when a relaxed write raced the slot; a purely
+                # strict collision (the seeded quorum bug) stays strong —
+                # it is an observed violation, not a permitted reorder.
+                chain = sorted(group, key=lambda t: _claim_rank(relaxed(t), t))
+                any_relaxed = any(relaxed(t) for t in chain)
+                for loser, winner in zip(chain, chain[1:]):
+                    add(loser, winner, "ww", key, weak=any_relaxed,
+                        contested=any_relaxed)
+        for prev_slot, next_slot in zip(ordered_slots, ordered_slots[1:]):
+            for src in slots[prev_slot]:
+                for dst in slots[next_slot]:
+                    add(src, dst, "ww", key, weak=False)
+
+    for txid in sorted(txs, key=_canon):
+        tx = txs[txid]
+        for key, version in sorted(tx.reads.items()):
+            if key in delta_keys:
+                continue
+            slots = claimants.get(key, {})
+            # wr: whoever claimed the slot this read returned precedes it.
+            # Weak when the *reader* runs a relaxed-write level: its
+            # validation never re-examines reads, so a feasible reorder
+            # may move the read before the write.
+            for writer in slots.get(version, ()):
+                add(writer, txid, "wr", key, weak=relaxed(txid))
+            # rw: the read did not see slot version+1, so the reader
+            # precedes its claimants.  Weak unless the reader declared
+            # serializable (rule (a) handles the strict case).
+            for claimant in slots.get(version + 1, ()):
+                add(txid, claimant, "rw", key,
+                    weak=tx.iso != "serializable")
+
+    # so: session chains over committed transactions, begin order.
+    by_session: Dict[str, List[str]] = {}
+    for txid, tx in txs.items():
+        if tx.session:
+            by_session.setdefault(tx.session, []).append(txid)
+    for session, members in sorted(by_session.items()):
+        members.sort(key=lambda t: txs[t].order)
+        for prev, nxt in zip(members, members[1:]):
+            both_rc = (
+                txs[prev].iso == "read-committed"
+                and txs[nxt].iso == "read-committed"
+            )
+            add(prev, nxt, "so", "", weak=both_rc)
+
+    hops = [
+        Hop(
+            src=src,
+            dst=dst,
+            kinds=frozenset(entry["kinds"]),
+            keys=tuple(sorted(entry["keys"])),
+            weak=entry["weak"],
+            contested=entry["contested"],
+        )
+        for (src, dst), entry in raw.items()
+    ]
+    return txs, hops
+
+
+def _cycle_passes(hops: List[Hop], txs: Dict[str, _Tx]) -> bool:
+    """Apply report rules (a)-(d) from the module docstring."""
+    if not any(hop.weak for hop in hops):
+        return False  # (b)
+    rw_srcs = [hop.src for hop in hops if hop.rw_only]
+    for src in rw_srcs:
+        if txs[src].iso == "serializable":
+            return False  # (a)
+    for hop in hops:
+        if hop.kinds == frozenset({"so"}) and not hop.weak:
+            return False  # (c)
+    if rw_srcs and all(txs[src].iso == "snapshot" for src in rw_srcs):
+        n = len(hops)
+        adjacent = any(
+            hops[i].rw_only and hops[(i + 1) % n].rw_only for i in range(n)
+        )
+        if not adjacent:
+            return False  # (d): no dangerous structure under SI
+    return True
+
+
+def _classify(hops: List[Hop]) -> str:
+    if any(hop.contested for hop in hops):
+        return "lost-update"
+    if any("so" in hop.kinds for hop in hops):
+        return "non-monotonic-read"
+    if all(hop.rw_only for hop in hops):
+        return "write-skew"
+    wr_hops = sum(1 for hop in hops if "wr" in hop.kinds)
+    rw_hops = sum(1 for hop in hops if hop.rw_only)
+    if wr_hops >= 2 and rw_hops >= 2:
+        return "long-fork"
+    return "unserializable"
+
+
+def _describe(anomaly: str, cycle: Tuple[str, ...], hops: List[Hop],
+              txs: Dict[str, _Tx]) -> str:
+    parts = []
+    for hop in hops:
+        kinds = "/".join(sorted(hop.kinds))
+        keys = f"[{','.join(hop.keys)}]" if hop.keys else ""
+        parts.append(f"{hop.src} -{kinds}{keys}-> {hop.dst}")
+    weak = [
+        f"{hop.src}->{hop.dst}" for hop in hops if hop.weak
+    ]
+    levels = ", ".join(
+        f"{txid}={txs[txid].iso}" for txid in cycle
+    )
+    return (
+        f"{anomaly}: {'; '.join(parts)} (levels: {levels}; "
+        f"minimal reordering flips: {', '.join(weak)})"
+    )
+
+
+#: Safety valve for pathological graphs: the DFS visits at most this many
+#: (node, path) extensions before giving up on further cycles.
+_MAX_DFS_STEPS = 250_000
+
+
+def predict_history(
+    history: History,
+    max_cycle_len: int = 6,
+    max_witnesses: int = 64,
+) -> List[PredictedAnomaly]:
+    """Predicted-unserializable witnesses of ``history``.
+
+    Deterministic: the same history produces the same witness list in the
+    same order, independent of dict iteration or worker placement.  The
+    search is bounded (cycle length ``max_cycle_len``, at most
+    ``max_witnesses`` witnesses, and a global step cap), so the predictor
+    stays cheap even on adversarial histories.
+    """
+    txs, hop_list = build_hops(history)
+    adjacency: Dict[str, Dict[str, Hop]] = {}
+    for hop in hop_list:
+        adjacency.setdefault(hop.src, {})[hop.dst] = hop
+
+    nodes = sorted(adjacency, key=_canon)
+    node_index = {txid: i for i, txid in enumerate(nodes)}
+    witnesses: List[PredictedAnomaly] = []
+    seen_cycles: Set[Tuple[str, ...]] = set()
+    steps = 0
+
+    def neighbors(txid: str) -> List[str]:
+        return sorted(adjacency.get(txid, ()), key=_canon)
+
+    def emit(path: List[str]) -> None:
+        cycle = tuple(path)
+        if cycle in seen_cycles:
+            return
+        seen_cycles.add(cycle)
+        hops = [
+            adjacency[cycle[i]][cycle[(i + 1) % len(cycle)]]
+            for i in range(len(cycle))
+        ]
+        if not _cycle_passes(hops, txs):
+            return
+        anomaly = _classify(hops)
+        witnesses.append(
+            PredictedAnomaly(
+                anomaly=anomaly,
+                cycle=cycle,
+                hops=tuple(hops),
+                levels={txid: txs[txid].iso for txid in cycle},
+                sessions={txid: txs[txid].session for txid in cycle},
+                description=_describe(anomaly, cycle, hops, txs),
+            )
+        )
+
+    # Johnson-style restriction: each cycle is discovered exactly once,
+    # rooted at its least node, by only visiting nodes ranked at or above
+    # the root.  DFS order is canonical, so output order is deterministic.
+    for root in nodes:
+        if len(witnesses) >= max_witnesses or steps >= _MAX_DFS_STEPS:
+            break
+        root_rank = node_index[root]
+        # Iterative DFS with explicit path copies: simple and bounded.
+        frames: List[Tuple[str, List[str]]] = [(root, [root])]
+        while frames and len(witnesses) < max_witnesses and steps < _MAX_DFS_STEPS:
+            current, path = frames.pop()
+            for nxt in reversed(neighbors(current)):
+                steps += 1
+                if node_index.get(nxt, -1) < root_rank:
+                    continue
+                if nxt == root:
+                    emit(path)
+                    continue
+                if nxt in path or len(path) >= max_cycle_len:
+                    continue
+                frames.append((nxt, path + [nxt]))
+
+    witnesses.sort(key=lambda w: (ANOMALIES.index(w.anomaly), tuple(map(_canon, w.cycle))))
+    return witnesses
+
+
+def predict_report(history: History, **kwargs) -> Dict[str, Any]:
+    """JSON-safe summary: witnesses plus per-anomaly counts."""
+    witnesses = predict_history(history, **kwargs)
+    counts: Dict[str, int] = {}
+    for witness in witnesses:
+        counts[witness.anomaly] = counts.get(witness.anomaly, 0) + 1
+    return {
+        "witnesses": [w.to_dict() for w in witnesses],
+        "counts": counts,
+        "total": len(witnesses),
+    }

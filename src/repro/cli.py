@@ -11,6 +11,7 @@ Usage::
     python -m repro trace f6 --out f6.json    # Chrome trace_event capture
     python -m repro check campaign --schedules 50 --jobs 4
     python -m repro check replay plan.json    # re-run a saved fault plan
+    python -m repro check predict history.json --expect-anomaly lost-update
 
 Experiment ids accept unambiguous prefixes (``f6`` → ``f6_commit_latency``);
 discovery and prefix matching live in :mod:`repro.experiments.registry`.
@@ -279,6 +280,72 @@ def cmd_check_replay(args: argparse.Namespace) -> int:
     return 0 if stable and not violations else 1
 
 
+def cmd_check_predict(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.check import campaign
+    from repro.check.history import HISTORY_FORMAT, History
+    from repro.check.predict import predict_report
+    from repro.faults import FaultPlan
+    from repro.ops import reset_txid_counter
+
+    try:
+        with open(args.path, "r", encoding="utf-8") as handle:
+            payload = json_module.load(handle)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"check predict: {exc}") from exc
+
+    fmt = payload.get("format")
+    if fmt == HISTORY_FORMAT:
+        # A stored history: predict it twice to prove the analysis itself
+        # is deterministic (same witnesses, same order).
+        history = History.from_dict(payload)
+        first = predict_report(history)
+        second = predict_report(history)
+        digest = history.digest()
+        stable = first == second
+        source = f"history file ({len(history)} ops)"
+    elif fmt == campaign.PLAN_FORMAT:
+        # A replayable fault plan: re-execute it twice end to end; both the
+        # history digest and the prediction must be byte-stable.
+        def once():
+            reset_txid_counter()
+            row = campaign.run_schedule(
+                seed=int(payload["seed"]),
+                duration_ms=float(payload["duration_ms"]),
+                intensity=float(payload["intensity"]),
+                broken=bool(payload.get("broken", False)),
+                plan=FaultPlan.from_dict(payload["plan"]),
+                with_history=True,
+            )
+            history = History.from_dict(row["history"])
+            return row["digest"], predict_report(history), len(history)
+
+        first_digest, first, ops = once()
+        second_digest, second, _ = once()
+        digest = first_digest
+        stable = first_digest == second_digest and first == second
+        source = f"replayed plan seed={payload['seed']} ({ops} ops)"
+    else:
+        raise SystemExit(
+            f"check predict: {args.path}: unrecognised format {fmt!r} "
+            f"(expected {HISTORY_FORMAT!r} or {campaign.PLAN_FORMAT!r})"
+        )
+
+    print(f"predicted {first['total']} witness(es) from {source}")
+    print(f"history digest: {digest}")
+    print(f"prediction byte-stable across two passes: {stable}")
+    for anomaly, count in sorted(first["counts"].items()):
+        print(f"  {anomaly}: {count}")
+    for witness in first["witnesses"][: args.max_print]:
+        print(f"  {witness['description']}")
+    expected = args.expect_anomaly or []
+    missing = [name for name in expected if name not in first["counts"]]
+    if missing:
+        print(f"MISSING expected anomaly kind(s): {', '.join(missing)}")
+    return 0 if stable and not missing else 1
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     spec = _resolve_spec(args.experiment)
     overrides = _parse_overrides(args.set)
@@ -499,6 +566,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replay_parser.add_argument("plan", help="path to a campaign plan JSON file")
     replay_parser.set_defaults(func=cmd_check_replay)
+    predict_parser = check_sub.add_parser(
+        "predict",
+        help="predictive analysis: report anomalies the declared isolation "
+        "levels permit on a stored history (or a replayed plan)",
+    )
+    predict_parser.add_argument(
+        "path",
+        help="a repro.check/history-v1 history file or a repro.check/plan-v1 "
+        "campaign plan",
+    )
+    predict_parser.add_argument(
+        "--expect-anomaly",
+        action="append",
+        metavar="KIND",
+        default=None,
+        help="fail unless this anomaly kind is predicted (repeatable; e.g. "
+        "lost-update, write-skew, long-fork, non-monotonic-read)",
+    )
+    predict_parser.add_argument(
+        "--max-print",
+        type=int,
+        default=10,
+        help="witness descriptions to print (default: 10)",
+    )
+    predict_parser.set_defaults(func=cmd_check_predict)
 
     trace_parser = subparsers.add_parser(
         "trace",

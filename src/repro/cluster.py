@@ -43,6 +43,9 @@ class ClusterConfig:
     default_value: object = 0
     # MDCC knobs
     use_fast_path: bool = True
+    # Abort on the first rejecting vote instead of quorum-impossible
+    # (the Jepsen et al. protocol variant; see MdccConfig).
+    optimistic_abort: bool = False
     # Test-only seeded fault for checker validation (see MdccConfig).
     unsafe_skip_quorum_check: bool = False
     # 2PC knobs
@@ -125,6 +128,7 @@ class Cluster:
             engine_config = MdccConfig(
                 use_fast_path=self.config.use_fast_path,
                 default_deadline_ms=self.config.default_deadline_ms,
+                optimistic_abort=self.config.optimistic_abort,
                 unsafe_skip_quorum_check=self.config.unsafe_skip_quorum_check,
             )
             for dc in self.topology:

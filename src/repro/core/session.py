@@ -27,7 +27,7 @@ from repro.core.likelihood import (
 from repro.core.stages import TxStage
 from repro.core.speculation import SpeculationManager
 from repro.core.transaction import PlanetTransaction
-from repro.ops import AbortReason, Decision, Outcome
+from repro.ops import AbortReason, Decision, Outcome, validate_isolation
 from repro.paxos.ballot import classic_quorum, fast_quorum
 from repro.sim.process import Waiter
 from repro.stats.calibration import CalibrationBins
@@ -49,6 +49,11 @@ class PlanetConfig:
     # up).  Commutative deltas are excluded — their assigned version is not
     # knowable at the session — and documented as eventually visible.
     read_your_writes: bool = False
+    # Default isolation contract for this session's transactions (see
+    # repro.ops.ISOLATION_LEVELS); transactions override it per-tx with
+    # PlanetTransaction.with_isolation.  "serializable" is byte-for-byte
+    # the engine's historical behaviour.
+    isolation: str = "serializable"
     default_guess_threshold: Optional[float] = None
     default_timeout_ms: Optional[float] = None
     use_empirical_model: bool = False
@@ -121,6 +126,11 @@ class PlanetSession:
         self.finished: List[PlanetTransaction] = []
         # Per-key committed-version watermarks for read-your-writes.
         self._write_watermarks: Dict[str, int] = {}
+        # Per-key highest version this session has read — the monotonic
+        # floor for monotonic-session transactions.  Only maintained when
+        # such transactions run, so serializable sessions are untouched.
+        self._read_watermarks: Dict[str, int] = {}
+        validate_isolation(self.config.isolation)
         n = len(cluster.replica_ids)
         self.record_quorum = (
             fast_quorum(n) if getattr(cluster.config, "use_fast_path", True) else classic_quorum(n)
@@ -152,15 +162,25 @@ class PlanetSession:
             # decision record — their writes may have installed invisibly
             # (orphan recovery), so their keys are excused from strict
             # version-chain checking.
-            tracer.emit(
-                self.sim.now, "history", "begin",
+            fields = dict(
                 txid=tx.txid, session=self.session_id,
                 ryw=self.config.read_your_writes,
                 reads=len(tx.reads), writes=len(tx.writes),
                 wkeys=",".join(sorted(op.key for op in tx.writes)),
             )
+            # The declared level rides on the begin record for the checker
+            # and predictor.  Serializable is implied when absent, which
+            # keeps pre-isolation history digests byte-identical.
+            isolation = self.effective_isolation(tx)
+            if isolation != "serializable":
+                fields["iso"] = isolation
+            tracer.emit(self.sim.now, "history", "begin", **fields)
         self._attempt_admission(tx, previous_delays=0)
         return tx
+
+    def effective_isolation(self, tx: PlanetTransaction) -> str:
+        """The isolation contract ``tx`` runs under (override or default)."""
+        return tx.isolation if tx.isolation is not None else self.config.isolation
 
     def _attempt_admission(self, tx: PlanetTransaction, previous_delays: int) -> None:
         prior = self._prior_likelihood(tx)
@@ -192,6 +212,7 @@ class PlanetSession:
         for op in tx.writes:
             self.conflicts.register_inflight(op.key)
         request = tx.to_request()
+        request.isolation = self.effective_isolation(tx)
         if self.config.read_your_writes and self._write_watermarks:
             touched = set(request.reads) | set(request.write_keys)
             request.min_versions = {
@@ -199,6 +220,15 @@ class PlanetSession:
                 for key in touched
                 if key in self._write_watermarks
             }
+        if request.isolation == "monotonic-session" and self._read_watermarks:
+            # Session guarantee: this transaction's reads must not go
+            # backwards relative to what the session has already read.
+            # The engine's min_versions re-read loop waits for the local
+            # replica to catch up to the floor.
+            for key in request.reads:
+                floor = self._read_watermarks.get(key)
+                if floor is not None and floor > request.min_versions.get(key, 0):
+                    request.min_versions[key] = floor
         self.coordinator.execute(request, manager)
 
     def abort(self, tx: PlanetTransaction) -> bool:
@@ -215,6 +245,19 @@ class PlanetSession:
     # ------------------------------------------------------------------
     # Hooks used by the speculation manager
     # ------------------------------------------------------------------
+    def note_read_versions(self, request) -> None:
+        """Advance the session's monotonic read floors (monotonic-session).
+
+        Called when a transaction's read phase completes; a no-op for every
+        other isolation level so serializable sessions stay byte-identical
+        to their pre-isolation behaviour.
+        """
+        if request.isolation != "monotonic-session":
+            return
+        for key, version in request.read_versions.items():
+            if version > self._read_watermarks.get(key, -1):
+                self._read_watermarks[key] = version
+
     def evaluate_likelihood(self, tx: PlanetTransaction, now: float) -> Optional[float]:
         if not self._engine_has_progress:
             return None

@@ -49,6 +49,7 @@ class SpeculationManager(TxEvents):
     # ------------------------------------------------------------------
     def on_reads_complete(self, request: TxRequest, now: float) -> None:
         self.tx.read_results.update(request.read_results)
+        self.session.note_read_versions(request)
         tracer = self.session.sim.tracer
         if tracer.enabled:
             # One client-visible read per key, with the version actually

@@ -13,7 +13,16 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.core.callbacks import CallbackSet
 from repro.core.errors import TransactionSealed
 from repro.core.stages import TxStage, check_transition
-from repro.ops import AbortReason, DeltaOp, Decision, TxRequest, WriteLike, WriteOp, next_txid
+from repro.ops import (
+    AbortReason,
+    DeltaOp,
+    Decision,
+    TxRequest,
+    WriteLike,
+    WriteOp,
+    next_txid,
+    validate_isolation,
+)
 
 
 class PlanetTransaction:
@@ -39,6 +48,9 @@ class PlanetTransaction:
         self.writes: List[WriteLike] = []
         self.timeout_ms: Optional[float] = None
         self.guess_threshold: Optional[float] = None
+        # Per-transaction isolation override; None inherits the session's
+        # configured level (PlanetConfig.isolation).
+        self.isolation: Optional[str] = None
         self.callbacks = CallbackSet()
 
         # Runtime state, owned by the session/speculation layer.
@@ -87,6 +99,13 @@ class PlanetTransaction:
         if not 0.0 < threshold <= 1.0:
             raise ValueError("guess threshold must be in (0, 1]")
         self.guess_threshold = threshold
+        return self
+
+    def with_isolation(self, level: str) -> "PlanetTransaction":
+        """Declare this transaction's isolation contract (overrides the
+        session default; see :data:`repro.ops.ISOLATION_LEVELS`)."""
+        self._check_mutable()
+        self.isolation = validate_isolation(level)
         return self
 
     def on_progress(self, fn: Callable) -> "PlanetTransaction":

@@ -28,6 +28,7 @@ reproduction (scale=1) and the pytest-benchmark harness (scale<1).
 | T4  | YCSB core workloads summary                | t4_ycsb             |
 | MK  | kernel dispatch microbenchmark             | micro_kernel_dispatch |
 | SC1 | sharded planet-scale sim, 1M users         | scaleout_1m         |
+| ISO | isolation matrix: observed vs predicted    | iso_matrix          |
 """
 
 from repro.experiments.common import ExperimentResult, ShapeCheck
@@ -56,4 +57,5 @@ ALL_EXPERIMENTS = [
     "t4_ycsb",
     "micro_kernel_dispatch",
     "scaleout_1m",
+    "iso_matrix",
 ]

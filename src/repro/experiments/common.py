@@ -174,6 +174,7 @@ def microbench_run(
     use_fast_path: bool = True,
     spikes=(),
     use_deltas: bool = False,
+    optimistic_abort: bool = False,
 ) -> RunResult:
     """One microbenchmark run with the standard five-DC deployment."""
     if hot_keys is None:
@@ -189,7 +190,12 @@ def microbench_run(
         guess_threshold=guess_threshold,
     )
     config = RunConfig(
-        cluster=ClusterConfig(seed=seed, engine=engine, use_fast_path=use_fast_path),
+        cluster=ClusterConfig(
+            seed=seed,
+            engine=engine,
+            use_fast_path=use_fast_path,
+            optimistic_abort=optimistic_abort,
+        ),
         planet=planet_with_overrides(planet),
         workload=WorkloadConfig(
             tx_factory=lambda session, rng: build_microbench_tx(session, spec, rng),

@@ -6,6 +6,12 @@ intra-DC (or nearest-DC) latency, and with healthy conflict statistics the
 predicted commit likelihood crosses an application threshold (0.95 here)
 long before the wide-area quorum completes.  The gap between the two CDFs
 is the latency the callbacks buy.
+
+A second arm re-runs the same workload with the **optimistic-abort**
+protocol variant (abort on the first rejecting vote instead of waiting for
+a quorum of rejections): the speculation gap must survive that protocol
+change — the guess CDF is driven by the first *accepting* votes, which
+optimistic abort does not touch.
 """
 
 from __future__ import annotations
@@ -27,6 +33,21 @@ def _run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
         warmup_ms=duration * 0.1,
         timeout_ms=5_000.0,
         guess_threshold=0.95,
+    )
+
+    # The optimistic-abort baseline runs SECOND: the primary run's history
+    # is the determinism pin (see tests/test_iso_digest_pin.py) and must
+    # see a fresh-per-process event sequence.
+    optimistic = microbench_run(
+        seed=seed,
+        n_keys=5_000,
+        rate_tps=4.0,
+        clients_per_dc=2,
+        duration_ms=duration,
+        warmup_ms=duration * 0.1,
+        timeout_ms=5_000.0,
+        guess_threshold=0.95,
+        optimistic_abort=True,
     )
 
     guess_cdf = run_result.guess_latency_cdf()
@@ -53,6 +74,29 @@ def _run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
         run_result.mean_time_saved_by_guessing_ms(),
     )
     result.tables.append(summary)
+
+    opt_guess = optimistic.guess_latency_cdf()
+    opt_commit = optimistic.commit_latency_cdf()
+    baseline = Table(
+        "Optimistic-abort baseline (abort on first reject)",
+        ["variant", "guess p50 (ms)", "commit p50 (ms)", "committed", "abort rate"],
+    )
+    baseline.add_row(
+        "default (quorum-of-rejects)",
+        guess_cdf.percentile(50),
+        commit_cdf.percentile(50),
+        len(run_result.committed()),
+        run_result.abort_rate(),
+    )
+    baseline.add_row(
+        "optimistic abort",
+        opt_guess.percentile(50),
+        opt_commit.percentile(50),
+        len(optimistic.committed()),
+        optimistic.abort_rate(),
+    )
+    result.tables.append(baseline)
+
     result.figures.append(
         render_cdfs({"guess (speculative)": guess_cdf, "final commit": commit_cdf})
     )
@@ -65,6 +109,9 @@ def _run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
             "commit_p50": c50,
             "guessed_fraction": run_result.guessed_fraction(),
             "wrong_guess_rate": run_result.wrong_guess_rate(),
+            "optimistic_guess_p50": opt_guess.percentile(50),
+            "optimistic_commit_p50": opt_commit.percentile(50),
+            "optimistic_abort_rate": optimistic.abort_rate(),
         }
     )
     result.checks.append(
@@ -86,6 +133,15 @@ def _run(seed: int = 0, scale: float = 1.0) -> ExperimentResult:
             "wrong-guess rate small at threshold 0.95",
             run_result.wrong_guess_rate() <= 0.05,
             f"wrong-guess rate {run_result.wrong_guess_rate():.4f}",
+        )
+    )
+    og50 = opt_guess.percentile(50)
+    oc50 = opt_commit.percentile(50)
+    result.checks.append(
+        ShapeCheck(
+            "optimistic abort preserves the speculation gap",
+            og50 > 0 and oc50 / og50 >= 5.0,
+            f"optimistic-abort guess p50 {og50:.1f} ms vs commit p50 {oc50:.1f} ms",
         )
     )
     return result

@@ -6,6 +6,11 @@ but are wrong more often; high thresholds guess later and less but are
 nearly always right.  The wrong-guess rate should stay bounded by roughly
 ``1 - threshold`` (that is what a calibrated predictor promises) and fall
 monotonically-ish as the threshold rises, while median time-to-guess rises.
+
+Each point also runs an **optimistic-abort** arm (abort on the first
+rejecting vote, Jepsen-style) with the same derived seed: under real
+contention the variant must not make aborted transactions wait *longer*
+to learn their fate — early rejection is the whole point of the protocol.
 """
 
 from __future__ import annotations
@@ -28,10 +33,20 @@ def _grid(scale: float) -> List[GridPoint]:
     ]
 
 
+def _mean_abort_latency_ms(run_result) -> float:
+    """Mean time an aborted transaction waited to learn its fate."""
+    costs = []
+    for tx in run_result.aborted():
+        latency = tx.commit_latency_ms()
+        if latency is not None:
+            costs.append(latency)
+    return sum(costs) / len(costs) if costs else math.nan
+
+
 def _run_point(params: Dict[str, Any], ctx: PointContext) -> Dict[str, Any]:
     threshold = params["threshold"]
     duration = scaled(40_000.0, ctx.scale, 8_000.0)
-    run_result = microbench_run(
+    shared = dict(
         seed=ctx.seed,
         n_keys=2_000,
         hot_keys=32,
@@ -43,6 +58,8 @@ def _run_point(params: Dict[str, Any], ctx: PointContext) -> Dict[str, Any]:
         timeout_ms=2_000.0,
         guess_threshold=threshold,
     )
+    run_result = microbench_run(**shared)
+    optimistic = microbench_run(optimistic_abort=True, **shared)
     return {
         "threshold": threshold,
         "guessed_fraction": run_result.guessed_fraction(),
@@ -50,6 +67,9 @@ def _run_point(params: Dict[str, Any], ctx: PointContext) -> Dict[str, Any]:
         "guess_p50_ms": run_result.guess_latency_cdf().percentile(50),
         "time_saved_ms": run_result.mean_time_saved_by_guessing_ms(),
         "abort_rate": run_result.abort_rate(),
+        "abort_latency_ms": _mean_abort_latency_ms(run_result),
+        "optimistic_abort_rate": optimistic.abort_rate(),
+        "optimistic_abort_latency_ms": _mean_abort_latency_ms(optimistic),
     }
 
 
@@ -74,6 +94,26 @@ def _reduce(rows: List[Dict[str, Any]], ctx: PointContext) -> ExperimentResult:
             row["time_saved_ms"],
         )
     result.tables.append(table)
+
+    baseline = Table(
+        "Optimistic-abort baseline (same seeds)",
+        [
+            "threshold",
+            "abort % (default)",
+            "abort % (optimistic)",
+            "abort latency ms (default)",
+            "abort latency ms (optimistic)",
+        ],
+    )
+    for row in rows:
+        baseline.add_row(
+            row["threshold"],
+            100.0 * row["abort_rate"],
+            100.0 * row["optimistic_abort_rate"],
+            row["abort_latency_ms"],
+            row["optimistic_abort_latency_ms"],
+        )
+    result.tables.append(baseline)
     result.data["rows"] = rows
 
     lowest, highest = rows[0], rows[-1]
@@ -110,6 +150,30 @@ def _reduce(rows: List[Dict[str, Any]], ctx: PointContext) -> ExperimentResult:
             ),
         )
     )
+    # Aggregate over the sweep: pairing is per-seed but individual points
+    # are noisy (few aborts at high thresholds), so the claim is about the
+    # mean abort-learning latency across all points with data.
+    defaults = [
+        row["abort_latency_ms"]
+        for row in rows
+        if not math.isnan(row["abort_latency_ms"])
+    ]
+    optimistics = [
+        row["optimistic_abort_latency_ms"]
+        for row in rows
+        if not math.isnan(row["optimistic_abort_latency_ms"])
+    ]
+    if defaults and optimistics:
+        default_mean = sum(defaults) / len(defaults)
+        optimistic_mean = sum(optimistics) / len(optimistics)
+        result.checks.append(
+            ShapeCheck(
+                "optimistic abort learns aborts no later",
+                optimistic_mean <= default_mean * 1.1 + 5.0,
+                f"mean abort latency {default_mean:.1f} ms default vs "
+                f"{optimistic_mean:.1f} ms optimistic",
+            )
+        )
     return result
 
 

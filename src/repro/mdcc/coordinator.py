@@ -40,6 +40,13 @@ class MdccConfig:
     classic prepare round first (two round trips, majority quorum) — the
     ablation knob for experiment A2.
 
+    ``optimistic_abort``: the protocol variant of Jepsen et al. — abort on
+    the *first* rejecting Phase2b vote instead of waiting for the record's
+    quorum to become provably impossible.  Trades a higher abort rate (a
+    single straggler's stale view kills the transaction) for earlier abort
+    decisions, which is exactly the latency/abort trade-off the f7/f9
+    baselines measure.
+
     ``unsafe_skip_quorum_check``: test-only mutation seeded for the
     consistency checker's own validation — commit as soon as every record
     has a *single* accept instead of a quorum.  Deliberately breaks the
@@ -48,6 +55,7 @@ class MdccConfig:
 
     use_fast_path: bool = True
     default_deadline_ms: Optional[float] = None
+    optimistic_abort: bool = False
     unsafe_skip_quorum_check: bool = False
 
 
@@ -284,7 +292,10 @@ class MdccCoordinator(NetworkNode):
             quorum = classic_quorum(n)
         tx_keys = tuple(sorted(op.key for op in request.writes))
         for op in request.writes:
-            option = dataclasses.replace(make_option(request.txid, op), tx_keys=tx_keys)
+            option = dataclasses.replace(
+                make_option(request.txid, op, isolation=request.isolation),
+                tx_keys=tx_keys,
+            )
             tx.options[option.key] = option
             tx.trackers[option.key] = QuorumTracker(n, quorum)
         if self.config.use_fast_path:
@@ -382,7 +393,11 @@ class MdccCoordinator(NetworkNode):
             elif tracker.doomed:
                 self._decide(tx, Outcome.ABORTED, AbortReason.CONFLICT)
             return
-        if tracker.doomed:
+        if self.config.optimistic_abort and not msg.accepted:
+            # Jepsen et al.'s variant: a single rejection aborts immediately
+            # rather than waiting until a quorum is provably impossible.
+            self._decide(tx, Outcome.ABORTED, AbortReason.CONFLICT)
+        elif tracker.doomed:
             self._decide(tx, Outcome.ABORTED, AbortReason.CONFLICT)
         elif all(t.chosen for t in tx.trackers.values()):
             self._decide(tx, Outcome.COMMITTED, AbortReason.NONE)

@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple, Union
 
-from repro.ops import DeltaOp, WriteLike, WriteOp
+from repro.ops import RELAXED_WRITE_LEVELS, DeltaOp, WriteLike, WriteOp
 from repro.storage.record import VersionedRecord
 
 
@@ -34,6 +34,10 @@ class WriteOption:
     # Full write-key set of the owning transaction; lets the orphan-recovery
     # protocol reconstruct the transaction's shape from any accepted option.
     tx_keys: Tuple[str, ...] = ()
+    # Relaxed-isolation write (read-committed / monotonic-session): skips
+    # stale-read validation and resolves slot collisions last-writer-wins
+    # at apply time instead of aborting.
+    relaxed: bool = False
 
     exclusive = True
 
@@ -52,12 +56,18 @@ class DeltaOption:
 Option = Union[WriteOption, DeltaOption]
 
 
-def make_option(txid: str, op: WriteLike) -> Option:
+def make_option(txid: str, op: WriteLike, isolation: str = "serializable") -> Option:
     """Build the option for one write operation of transaction ``txid``."""
     if isinstance(op, WriteOp):
         if op.read_version is None:
             raise ValueError(f"WriteOp on {op.key!r} missing read_version stamp")
-        return WriteOption(txid=txid, key=op.key, read_version=op.read_version, new_value=op.value)
+        return WriteOption(
+            txid=txid,
+            key=op.key,
+            read_version=op.read_version,
+            new_value=op.value,
+            relaxed=isolation in RELAXED_WRITE_LEVELS,
+        )
     if isinstance(op, DeltaOp):
         return DeltaOption(txid=txid, key=op.key, delta=op.delta, floor=op.floor)
     raise TypeError(f"unsupported write operation {op!r}")
@@ -74,6 +84,13 @@ def validate_option(option: Option, record: VersionedRecord) -> Tuple[bool, str]
         return True, "already pending"
 
     if isinstance(option, WriteOption):
+        if option.relaxed:
+            # Relaxed-isolation write: accepted regardless of staleness or
+            # concurrent pending options.  Collisions resolve at apply time
+            # (last-writer-wins slot contest) instead of aborting — this is
+            # exactly where read-committed / monotonic-session permit lost
+            # updates.
+            return True, ""
         if record.pending:
             return False, "pending option on record"
         if option.read_version != record.committed_version:
@@ -103,7 +120,7 @@ def validate_option(option: Option, record: VersionedRecord) -> Tuple[bool, str]
 def apply_option(option: Option, record: VersionedRecord, now: float) -> None:
     """Install a committed option as the record's next version."""
     if isinstance(option, WriteOption):
-        record.install(option.new_value, option.txid, now)
+        record.install(option.new_value, option.txid, now, relaxed=option.relaxed)
     elif isinstance(option, DeltaOption):
         record.install(record.latest.value + option.delta, option.txid, now)
     else:

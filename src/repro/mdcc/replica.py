@@ -182,6 +182,19 @@ class MdccReplica:
     # ------------------------------------------------------------------
     # Version-ordered application
     # ------------------------------------------------------------------
+    @staticmethod
+    def _claim_rank(relaxed: bool, txid: str):
+        """Deterministic total order on committed claimants of one slot.
+
+        Strict writes outrank relaxed ones (a relaxed writer that raced a
+        validated first-committer loses — that loss *is* the permitted lost
+        update); among equals the highest transaction id wins.  The order
+        depends only on the claimants, never on decision arrival order, so
+        every replica that sees the same committed set converges on the
+        same winner.
+        """
+        return (not relaxed, (len(txid), txid))
+
     def _apply_in_order(self, option) -> None:
         record = self.node.store.record(option.key)
         if isinstance(option, DeltaOption):
@@ -193,8 +206,49 @@ class MdccReplica:
             apply_option(option, record, self.node.sim.now)
             self._flush_buffer(option.key)
         elif record.committed_version < option.read_version:
-            self._apply_buffer.setdefault(option.key, {})[option.read_version] = option
-        # else: a duplicate of an already-applied (or superseded) version.
+            self._buffer_option(option)
+        else:
+            self._contest_slot(option, record)
+
+    def _buffer_option(self, option: WriteOption) -> None:
+        """Park an option until its predecessor version lands.
+
+        Two committed claimants of the same future slot (possible only when
+        at least one is relaxed) collide here; keep the contest winner so
+        the eventual flush installs the same value on every replica.
+        """
+        buffered = self._apply_buffer.setdefault(option.key, {})
+        existing = buffered.get(option.read_version)
+        if existing is None or existing.txid == option.txid:
+            buffered[option.read_version] = option
+            return
+        if self._claim_rank(option.relaxed, option.txid) > self._claim_rank(
+            existing.relaxed, existing.txid
+        ):
+            buffered[option.read_version] = option
+
+    def _contest_slot(self, option: WriteOption, record) -> None:
+        """An option arrived for an already-filled slot.
+
+        For strict options this is a duplicate of an applied (or
+        superseded) version — dropped, exactly as before relaxed isolation
+        existed.  A relaxed claimant (either side) triggers the
+        last-writer-wins contest: the winner's value overwrites the slot
+        in place, without minting a new version number.
+        """
+        target = option.read_version + 1
+        occupant = record.version_at(target)
+        if occupant is None or occupant.txid == option.txid:
+            return  # truncated away, or a duplicate delivery
+        if not option.relaxed and not occupant.relaxed:
+            return  # strict duplicate/superseded: historical behaviour
+        if self._claim_rank(option.relaxed, option.txid) > self._claim_rank(
+            occupant.relaxed, occupant.txid
+        ):
+            record.replace_at(
+                target, option.new_value, option.txid, self.node.sim.now,
+                relaxed=option.relaxed,
+            )
 
     def _flush_buffer(self, key: str) -> None:
         buffered = self._apply_buffer.get(key)

@@ -58,6 +58,34 @@ class DeltaOp:
 
 WriteLike = Union[WriteOp, DeltaOp]
 
+#: Per-transaction isolation contracts, strongest first.  ``serializable``
+#: is the engine's historical behaviour, bit-for-bit.  ``snapshot`` keeps
+#: strict first-committer-wins writes but *declares* that its reads come
+#: from a (per-record) snapshot — a contract the predictive checker uses,
+#: not an engine relaxation.  ``monotonic-session`` and ``read-committed``
+#: relax write validation (stale exclusive writes are accepted and resolved
+#: last-writer-wins); ``monotonic-session`` additionally keeps the
+#: session's reads monotonic through the ``min_versions`` machinery.
+ISOLATION_LEVELS = (
+    "serializable",
+    "snapshot",
+    "monotonic-session",
+    "read-committed",
+)
+
+#: Levels whose exclusive writes skip stale-read validation (and therefore
+#: may lose updates).
+RELAXED_WRITE_LEVELS = frozenset({"monotonic-session", "read-committed"})
+
+
+def validate_isolation(level: str) -> str:
+    if level not in ISOLATION_LEVELS:
+        raise ValueError(
+            f"unknown isolation level {level!r}; expected one of {ISOLATION_LEVELS}"
+        )
+    return level
+
+
 _txid_counter = itertools.count(1)
 
 
@@ -99,6 +127,10 @@ class TxRequest:
     min_versions: Dict[str, int] = field(default_factory=dict)
     submitted_at: float = 0.0
     deadline_ms: Optional[float] = None
+    # Declared isolation contract; see ISOLATION_LEVELS.  Engines relax
+    # exclusive-write validation for RELAXED_WRITE_LEVELS and leave every
+    # other level's behaviour identical to serializable.
+    isolation: str = "serializable"
 
     @property
     def write_keys(self) -> List[str]:

@@ -14,12 +14,20 @@ from typing import Any, Dict, List, Optional
 
 @dataclass(frozen=True)
 class RecordVersion:
-    """One committed version of a record."""
+    """One committed version of a record.
+
+    ``relaxed`` marks versions installed by a relaxed-isolation write
+    (read-committed / monotonic-session): such a slot may still be
+    *contested* — overwritten in place by a concurrent committed writer of
+    the same slot under the deterministic last-writer-wins order (strict
+    beats relaxed, then highest transaction id).
+    """
 
     version: int
     value: Any
     txid: str
     committed_at: float
+    relaxed: bool = False
 
     def __repr__(self) -> str:
         return f"<v{self.version}={self.value!r} tx={self.txid}>"
@@ -65,15 +73,39 @@ class VersionedRecord:
                 break
         return None
 
-    def install(self, value: Any, txid: str, now: float) -> RecordVersion:
+    def install(self, value: Any, txid: str, now: float, relaxed: bool = False) -> RecordVersion:
         """Append a new committed version and truncate old ones."""
         new_version = RecordVersion(
-            version=self.committed_version + 1, value=value, txid=txid, committed_at=now
+            version=self.committed_version + 1, value=value, txid=txid,
+            committed_at=now, relaxed=relaxed,
         )
         self.versions.append(new_version)
         if len(self.versions) > self.max_versions:
             del self.versions[: len(self.versions) - self.max_versions]
         return new_version
+
+    def replace_at(
+        self, version: int, value: Any, txid: str, now: float, relaxed: bool = False
+    ) -> Optional[RecordVersion]:
+        """Overwrite an already-committed slot in place (LWW slot contest).
+
+        Used when a relaxed-isolation write committed against a slot some
+        other transaction also claimed: the deterministic contest winner's
+        value replaces the occupant's without minting a new version number.
+        Returns the new :class:`RecordVersion`, or None when the slot has
+        been truncated away.
+        """
+        for index in range(len(self.versions) - 1, -1, -1):
+            if self.versions[index].version == version:
+                new_version = RecordVersion(
+                    version=version, value=value, txid=txid,
+                    committed_at=now, relaxed=relaxed,
+                )
+                self.versions[index] = new_version
+                return new_version
+            if self.versions[index].version < version:
+                break
+        return None
 
     def reset_to(self, version: int, value: Any, txid: str, now: float) -> RecordVersion:
         """Snapshot catch-up: jump the chain to ``version`` directly.

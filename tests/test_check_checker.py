@@ -280,11 +280,14 @@ class TestQuorum:
 
 
 class TestConfigForPlan:
-    def test_coordinator_crash_gates_both(self):
+    def test_coordinator_crash_scopes_instead_of_gating(self):
         plan = FaultPlan(coordinator_crashes=[CoordinatorCrash("tokyo", 100.0)])
         config = CheckerConfig.for_plan(plan)
-        assert not config.expect_decided
-        assert not config.check_version_chain
+        # The global switches stay on; the crash is carried as a scoped
+        # excusal instead.
+        assert config.expect_decided
+        assert config.check_version_chain
+        assert config.coordinator_crashes == (("tokyo", 100.0),)
 
     def test_replica_crash_keeps_full_checker(self):
         plan = FaultPlan(replica_crashes=[ReplicaCrash("tokyo", 100.0)])
@@ -292,6 +295,150 @@ class TestConfigForPlan:
 
     def test_none_plan_keeps_full_checker(self):
         assert CheckerConfig.for_plan(None) == CheckerConfig()
+
+
+class TestScopedCrashExcusal:
+    """The crash excusal is scoped to the crashed DC, not global."""
+
+    CRASH = CheckerConfig(coordinator_crashes=(("tokyo", 100.0),))
+
+    def test_undecided_tx_in_healthy_dc_still_flagged(self):
+        # tokyo crashed, but this transaction belongs to us_west: its
+        # timeout timer is alive, so going undecided is a violation.
+        ops = [
+            _op(50, "begin", "tx-1", "us_west/s0", ryw=False, wkeys="x"),
+            _op(51, "write", "tx-1", "us_west/s0", key="x", kind="w",
+                read_version=0),
+        ]
+        violations = check_history(History(ops), self.CRASH)
+        assert "decided" in invariants(violations)
+
+    def test_undecided_tx_in_crashed_dc_excused(self):
+        ops = [
+            _op(50, "begin", "tx-1", "tokyo/s0", ryw=False, wkeys="x"),
+            _op(51, "write", "tx-1", "tokyo/s0", key="x", kind="w",
+                read_version=0),
+        ]
+        assert check_history(History(ops), self.CRASH) == []
+
+    def test_post_crash_submission_excused_from_decided(self):
+        # Submitted to the dead coordinator: the client never hears back,
+        # so undecided is legitimate too.
+        ops = [_op(150, "begin", "tx-1", "tokyo/s0", ryw=False, wkeys="")]
+        assert check_history(History(ops), self.CRASH) == []
+
+    def test_in_flight_tx_keys_excused_from_chain_checks(self):
+        # tx-9 was in flight at the tokyo crash and never decided: orphan
+        # recovery may have installed its write invisibly, so the v0 -> v2
+        # gap on "x" is explainable and must not be flagged.
+        ops = (
+            _committed_write(0, "tx-1", "us_west/s0", "x", 0)
+            + [
+                _op(50, "begin", "tx-9", "tokyo/s0", ryw=False, wkeys="x"),
+                _op(51, "write", "tx-9", "tokyo/s0", key="x", kind="w",
+                    read_version=1),
+            ]
+            + _committed_write(200, "tx-2", "us_west/s0", "x", 2)
+        )
+        assert check_history(History(ops), self.CRASH) == []
+
+    def test_post_crash_submission_keys_stay_strictly_checked(self):
+        # tx-9 was submitted to tokyo AFTER the crash: a dead coordinator
+        # never proposes options, so tx-9 cannot explain the chain gap and
+        # the violation must survive.
+        ops = (
+            _committed_write(0, "tx-1", "us_west/s0", "x", 0)
+            + [
+                _op(150, "begin", "tx-9", "tokyo/s0", ryw=False, wkeys="x"),
+                _op(151, "write", "tx-9", "tokyo/s0", key="x", kind="w",
+                    read_version=1),
+            ]
+            + _committed_write(200, "tx-2", "us_west/s0", "x", 2)
+        )
+        violations = check_history(History(ops), self.CRASH)
+        assert "version-chain-gap" in invariants(violations)
+
+    def test_other_dc_crash_does_not_excuse(self):
+        config = CheckerConfig(coordinator_crashes=(("ireland", 100.0),))
+        ops = [_op(50, "begin", "tx-1", "tokyo/s0", ryw=False, wkeys="")]
+        violations = check_history(History(ops), config)
+        assert "decided" in invariants(violations)
+
+
+class TestIsolationAwareness:
+    """Declared relaxed levels excuse exactly what they permit."""
+
+    def _lost_update(self, iso_fields):
+        ops = []
+        for index, txid in enumerate(("tx-1", "tx-2")):
+            t = index * 10
+            ops += [
+                _op(t, "begin", txid, f"dc{index}/s0", ryw=False, wkeys="x",
+                    **iso_fields),
+                _op(t + 1, "read", txid, f"dc{index}/s0", key="x", version=0),
+                _op(t + 2, "write", txid, f"dc{index}/s0", key="x", kind="w",
+                    read_version=0),
+                _op(t + 3, "commit", txid, f"dc{index}/s0"),
+            ]
+        return History(ops)
+
+    def test_strict_slot_collision_is_a_violation(self):
+        violations = check_history(self._lost_update({}))
+        assert "duplicate-committed-version" in invariants(violations)
+
+    def test_relaxed_slot_collision_is_permitted(self):
+        history = self._lost_update({"iso": "read-committed"})
+        assert check_history(history) == []
+
+    def test_mixed_collision_needs_two_strict_claimants(self):
+        # One strict + one relaxed claimant: the strict write wins the LWW
+        # contest deterministically, so no strict-vs-strict lost update.
+        ops = [
+            _op(0, "begin", "tx-1", "a/s0", ryw=False, wkeys="x"),
+            _op(1, "read", "tx-1", "a/s0", key="x", version=0),
+            _op(2, "write", "tx-1", "a/s0", key="x", kind="w", read_version=0),
+            _op(3, "commit", "tx-1", "a/s0"),
+            _op(10, "begin", "tx-2", "b/s0", ryw=False, wkeys="x",
+                iso="read-committed"),
+            _op(11, "read", "tx-2", "b/s0", key="x", version=0),
+            _op(12, "write", "tx-2", "b/s0", key="x", kind="w", read_version=0),
+            _op(13, "commit", "tx-2", "b/s0"),
+        ]
+        assert check_history(History(ops)) == []
+
+    def test_read_committed_reads_skip_session_floors(self):
+        # The same shape flags monotonic-reads at the default level (see
+        # TestSessionGuarantees); declared read-committed, it is permitted.
+        ops = [
+            _op(0, "begin", "tx-1", "a/s0", ryw=False, wkeys="",
+                iso="read-committed"),
+            _op(1, "read", "tx-1", "a/s0", key="x", version=5),
+            _op(2, "commit", "tx-1", "a/s0"),
+            _op(10, "begin", "tx-2", "a/s0", ryw=False, wkeys="",
+                iso="read-committed"),
+            _op(11, "read", "tx-2", "a/s0", key="x", version=3),
+            _op(12, "commit", "tx-2", "a/s0"),
+        ]
+        violations = check_history(History(ops), CheckerConfig(
+            check_version_chain=False))
+        assert violations == []
+
+    def test_relaxed_commit_does_not_advance_ryw_floor(self):
+        # A monotonic-session write may lose the slot contest, so the
+        # session must not be held to read-your-writes on it.
+        ops = [
+            _op(0, "begin", "tx-1", "a/s0", ryw=True, wkeys="x",
+                iso="monotonic-session"),
+            _op(1, "write", "tx-1", "a/s0", key="x", kind="w", read_version=0),
+            _op(2, "commit", "tx-1", "a/s0"),
+            _op(10, "begin", "tx-2", "a/s0", ryw=True, wkeys="",
+                iso="monotonic-session"),
+            _op(11, "read", "tx-2", "a/s0", key="x", version=0),
+            _op(12, "commit", "tx-2", "a/s0"),
+        ]
+        violations = check_history(History(ops), CheckerConfig(
+            check_version_chain=False))
+        assert violations == []
 
 
 class TestViolation:

@@ -1,0 +1,284 @@
+"""Predictive-checker battery: anomalies found iff the level permits them.
+
+Three layers:
+
+* hand-built histories, one per anomaly shape, swept across isolation
+  levels — found under every level that PERMITS the anomaly, silent under
+  every level that FORBIDS it;
+* hypothesis property tests — the all-serializable silence guarantee,
+  randomized lost-update embedding, and determinism of the witness list;
+* one end-to-end engine run (two read-committed sessions racing a
+  read-modify-write) proving the predictor catches what the level-aware
+  observed checker — correctly — does not flag.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.check.checker import check_history
+from repro.check.history import History, HistoryOp
+from repro.check.predict import ANOMALIES, predict_history, predict_report
+
+
+def _op(time_ms, op_kind, txid, session="", **fields):
+    return HistoryOp(
+        time_ms=time_ms, kind=op_kind, txid=txid, session=session, fields=fields
+    )
+
+
+def _iso(level):
+    return {} if level == "serializable" else {"iso": level}
+
+
+def _rmw(t, txid, session, key, version, level, value=0):
+    """begin / read / write / commit: one read-modify-write transaction."""
+    return [
+        _op(t, "begin", txid, session, **_iso(level)),
+        _op(t + 1, "read", txid, session, key=key, version=version),
+        _op(t + 2, "write", txid, session, key=key, kind="w",
+            read_version=version),
+        _op(t + 3, "commit", txid, session),
+    ]
+
+
+def anomalies(witnesses):
+    return sorted({w.anomaly for w in witnesses})
+
+
+# ----------------------------------------------------------------------
+# Hand-built anomaly shapes × levels.
+# ----------------------------------------------------------------------
+def lost_update_history(level):
+    """Two transactions read x@0, both commit a write claiming slot 1."""
+    return History(
+        _rmw(0, "tx-1", "a/s0", "x", 0, level)
+        + _rmw(10, "tx-2", "b/s0", "x", 0, level)
+    )
+
+
+def write_skew_history(level):
+    """Disjoint writes over a shared read set: the SI classic."""
+    ops = [
+        _op(0, "begin", "tx-1", "a/s0", **_iso(level)),
+        _op(1, "read", "tx-1", "a/s0", key="x", version=0),
+        _op(2, "read", "tx-1", "a/s0", key="y", version=0),
+        _op(3, "write", "tx-1", "a/s0", key="x", kind="w", read_version=0),
+        _op(4, "commit", "tx-1", "a/s0"),
+        _op(10, "begin", "tx-2", "b/s0", **_iso(level)),
+        _op(11, "read", "tx-2", "b/s0", key="x", version=0),
+        _op(12, "read", "tx-2", "b/s0", key="y", version=0),
+        _op(13, "write", "tx-2", "b/s0", key="y", kind="w", read_version=0),
+        _op(14, "commit", "tx-2", "b/s0"),
+    ]
+    return History(ops)
+
+
+def long_fork_history(level):
+    """Two observers see two independent writes in opposite orders."""
+    ops = [
+        _op(0, "begin", "tx-1", "a/s0", **_iso(level)),
+        _op(1, "write", "tx-1", "a/s0", key="x", kind="w", read_version=0),
+        _op(2, "commit", "tx-1", "a/s0"),
+        _op(10, "begin", "tx-2", "b/s0", **_iso(level)),
+        _op(11, "write", "tx-2", "b/s0", key="y", kind="w", read_version=0),
+        _op(12, "commit", "tx-2", "b/s0"),
+        _op(20, "begin", "tx-3", "c/s0", **_iso(level)),
+        _op(21, "read", "tx-3", "c/s0", key="x", version=1),
+        _op(22, "read", "tx-3", "c/s0", key="y", version=0),
+        _op(23, "commit", "tx-3", "c/s0"),
+        _op(30, "begin", "tx-4", "d/s0", **_iso(level)),
+        _op(31, "read", "tx-4", "d/s0", key="x", version=0),
+        _op(32, "read", "tx-4", "d/s0", key="y", version=1),
+        _op(33, "commit", "tx-4", "d/s0"),
+    ]
+    return History(ops)
+
+
+def non_monotonic_history(level):
+    """One session reads x@1 then x@0: feasible only without session order."""
+    ops = [
+        _op(0, "begin", "tx-1", "w/s0", **_iso(level)),
+        _op(1, "write", "tx-1", "w/s0", key="x", kind="w", read_version=0),
+        _op(2, "commit", "tx-1", "w/s0"),
+        _op(10, "begin", "tx-2", "r/s0", **_iso(level)),
+        _op(11, "read", "tx-2", "r/s0", key="x", version=1),
+        _op(12, "commit", "tx-2", "r/s0"),
+        _op(20, "begin", "tx-3", "r/s0", **_iso(level)),
+        _op(21, "read", "tx-3", "r/s0", key="x", version=0),
+        _op(22, "commit", "tx-3", "r/s0"),
+    ]
+    return History(ops)
+
+
+class TestAnomalyMatrix:
+    """found under levels that PERMIT, silent under levels that FORBID."""
+
+    @pytest.mark.parametrize("level", ["read-committed", "monotonic-session"])
+    def test_lost_update_found_under_relaxed_writes(self, level):
+        witnesses = predict_history(lost_update_history(level))
+        assert "lost-update" in anomalies(witnesses)
+
+    @pytest.mark.parametrize("level", ["serializable", "snapshot"])
+    def test_lost_update_silent_under_strict_writes(self, level):
+        assert predict_history(lost_update_history(level)) == []
+
+    @pytest.mark.parametrize("level", ["snapshot", "read-committed"])
+    def test_write_skew_found_where_permitted(self, level):
+        witnesses = predict_history(write_skew_history(level))
+        assert "write-skew" in anomalies(witnesses)
+
+    def test_write_skew_silent_at_serializable(self):
+        assert predict_history(write_skew_history("serializable")) == []
+
+    def test_long_fork_found_at_read_committed(self):
+        witnesses = predict_history(long_fork_history("read-committed"))
+        assert "long-fork" in anomalies(witnesses)
+
+    @pytest.mark.parametrize("level", ["serializable", "snapshot"])
+    def test_long_fork_silent_under_si_or_stronger(self, level):
+        # SI forbids long fork: the cycle has no two adjacent
+        # anti-dependency hops (Fekete's dangerous structure).
+        assert predict_history(long_fork_history(level)) == []
+
+    def test_non_monotonic_read_found_at_read_committed(self):
+        witnesses = predict_history(non_monotonic_history("read-committed"))
+        assert "non-monotonic-read" in anomalies(witnesses)
+
+    @pytest.mark.parametrize("level", ["serializable", "monotonic-session"])
+    def test_non_monotonic_read_silent_with_session_order(self, level):
+        assert predict_history(non_monotonic_history(level)) == []
+
+    def test_anomaly_names_are_documented(self):
+        for history in (
+            lost_update_history("read-committed"),
+            write_skew_history("snapshot"),
+            long_fork_history("read-committed"),
+            non_monotonic_history("read-committed"),
+        ):
+            for witness in predict_history(history):
+                assert witness.anomaly in ANOMALIES
+
+    def test_witness_payload_is_json_safe(self):
+        (witness,) = predict_history(lost_update_history("read-committed"))
+        payload = witness.to_dict()
+        assert payload["cycle"] == ["tx-1", "tx-2"]
+        assert payload["levels"] == {
+            "tx-1": "read-committed", "tx-2": "read-committed"
+        }
+        assert any(hop["contested"] for hop in payload["hops"])
+        assert "lost-update" in payload["description"]
+
+
+# ----------------------------------------------------------------------
+# Property tests.
+# ----------------------------------------------------------------------
+SESSIONS = ("a/s0", "b/s0", "c/s0")
+KEYS = ("x", "y", "z")
+
+# One random committed RMW: (session, key, read-version).
+_random_rmws = st.lists(
+    st.tuples(
+        st.sampled_from(SESSIONS),
+        st.sampled_from(KEYS),
+        st.integers(0, 3),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+def _build(rmws, level):
+    ops = []
+    for index, (session, key, version) in enumerate(rmws):
+        ops += _rmw(index * 10, f"tx-{index + 1}", session, key, version, level)
+    return History(ops)
+
+
+class TestProperties:
+    @given(_random_rmws)
+    @settings(max_examples=60, deadline=None)
+    def test_all_serializable_histories_predict_clean(self, rmws):
+        # Rule (b): with every transaction serializable no edge is weak,
+        # so no cycle is a feasible reordering — zero witnesses, always.
+        assert predict_history(_build(rmws, "serializable")) == []
+
+    @given(_random_rmws, st.sampled_from(KEYS), st.integers(0, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_embedded_lost_update_is_found_at_read_committed(
+        self, rmws, key, version
+    ):
+        # Append two same-slot claimants from distinct sessions: whatever
+        # noise precedes them, the contested slot must surface.
+        history = _build(rmws, "read-committed")
+        n = len(rmws)
+        extra = _rmw(1000, f"tx-{n + 1}", "p/s0", key, version, "read-committed")
+        extra += _rmw(1010, f"tx-{n + 2}", "q/s0", key, version, "read-committed")
+        history = History(list(history) + extra)
+        witnesses = predict_history(history, max_witnesses=256)
+        assert "lost-update" in anomalies(witnesses)
+
+    @given(_random_rmws, st.sampled_from(["read-committed", "snapshot"]))
+    @settings(max_examples=40, deadline=None)
+    def test_prediction_is_deterministic(self, rmws, level):
+        history = _build(rmws, level)
+        first = [w.to_dict() for w in predict_history(history)]
+        second = [w.to_dict() for w in predict_history(history)]
+        assert first == second
+
+    @given(_random_rmws)
+    @settings(max_examples=40, deadline=None)
+    def test_snapshot_never_reports_lost_update(self, rmws):
+        # Snapshot writes are strict: a slot contest between snapshot
+        # transactions is an observed violation, never a predicted one.
+        witnesses = predict_history(
+            _build(rmws, "snapshot"), max_witnesses=256
+        )
+        assert "lost-update" not in anomalies(witnesses)
+
+    @given(_random_rmws)
+    @settings(max_examples=30, deadline=None)
+    def test_report_counts_match_witnesses(self, rmws):
+        report = predict_report(_build(rmws, "read-committed"))
+        assert report["total"] == len(report["witnesses"])
+        assert sum(report["counts"].values()) == report["total"]
+
+
+# ----------------------------------------------------------------------
+# End to end: engine run at read-committed.
+# ----------------------------------------------------------------------
+class TestEndToEnd:
+    def _race(self, level):
+        from repro.check.history import HistoryRecorder
+        from repro.cluster import Cluster, ClusterConfig
+        from repro.core.session import PlanetConfig, PlanetSession
+
+        cluster = Cluster(ClusterConfig(seed=7, engine="mdcc", jitter_sigma=0.0))
+        cluster.load({"k": 0})
+        recorder = HistoryRecorder().attach(cluster.sim)
+        config = PlanetConfig(isolation=level)
+        west = PlanetSession(cluster, "us_west", config=config)
+        east = PlanetSession(cluster, "us_east", config=config)
+        first = west.transaction().read("k").write("k", "a")
+        second = east.transaction().read("k").write("k", "b")
+        west.submit(first)
+        east.submit(second)
+        cluster.run()
+        return first, second, recorder.history()
+
+    def test_read_committed_race_predicted_but_not_observed(self):
+        first, second, history = self._race("read-committed")
+        # Both commit: the level permits the lost update...
+        assert first.committed and second.committed
+        # ...so the observed checker is silent...
+        assert check_history(history) == []
+        # ...and the predictor is what catches it.
+        witnesses = predict_history(history)
+        assert "lost-update" in anomalies(witnesses)
+
+    def test_serializable_race_predicts_nothing(self):
+        first, second, history = self._race("serializable")
+        assert not (first.committed and second.committed)
+        assert predict_history(history) == []

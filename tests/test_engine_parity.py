@@ -28,6 +28,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import Cluster, ClusterConfig, PlanetSession, engine, obs
+from repro.core.session import PlanetConfig
+from repro.ops import ISOLATION_LEVELS
 
 pytestmark = pytest.mark.skipif(
     not engine.compiled_available(),
@@ -93,6 +95,54 @@ class TestWorkloadParity:
         assert _run_workload("python", seed, ops) == _run_workload(
             "compiled", seed, ops
         )
+
+
+def _run_isolation_workload(backend, level, seed=29):
+    """A deliberately contended RMW workload under one isolation level."""
+    with obs.session(history=True) as s:
+        cluster = Cluster(ClusterConfig(seed=seed, backend=backend))
+        cluster.load({key: 0 for key in KEYS})
+        config = PlanetConfig(isolation=level)
+        sessions = {
+            site: PlanetSession(cluster, site, config=config) for site in SITES
+        }
+        outcomes = []
+        # Every site hammers the same two keys so relaxed levels actually
+        # exercise the slot-contest path, not just the happy path.
+        for round_index in range(3):
+            for site in SITES:
+                tx = (
+                    sessions[site]
+                    .transaction()
+                    .read("alpha")
+                    .write("alpha", round_index)
+                    .write("beta", site)
+                )
+                outcomes.append(sessions[site].submit(tx))
+        cluster.run()
+        cluster.settle(2_000.0)
+    return {
+        "now": cluster.sim.now,
+        "events": cluster.sim.events_processed,
+        "outcomes": [(tx.committed, tx.abort_reason, tx.decided_at) for tx in outcomes],
+        "history": s.history.history().digest(),
+    }
+
+
+class TestIsolationParity:
+    """Every isolation level behaves identically across backends.
+
+    The relaxed-write machinery (slot contests, in-place replacement,
+    watermark floors) lives in python above the kernel boundary, but it
+    changes which engine requests are issued and when — so each level gets
+    its own cross-backend digest check.
+    """
+
+    @pytest.mark.parametrize("level", ISOLATION_LEVELS)
+    def test_history_digest_parity_per_level(self, level):
+        python = _run_isolation_workload("python", level)
+        compiled = _run_isolation_workload("compiled", level)
+        assert python == compiled
 
 
 class TestInstrumentedParity:

@@ -1,0 +1,44 @@
+"""Differential pin: serializable is a byte-identical no-op.
+
+The isolation machinery (iso begin fields, relaxed slot contests, read
+watermarks, level-aware admission) must be invisible at the default
+``serializable`` level.  This test pins the history digest of the f7
+microbenchmark at its pre-isolation value: any change to engine code that
+perturbs a serializable run — an extra field, a reordered event, a stray
+RNG draw — flips the digest and fails here.
+
+If this test fails and the change was *intentional* (a new feature that
+legitimately alters serializable histories), re-pin the digest and say so
+in the commit message.  If it was not intentional, the engine changed
+behaviour at the default level: fix the change, not the pin.
+"""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.ops import reset_txid_counter
+from repro.experiments.common import microbench_run
+
+# Digest of the f7_guess_vs_commit primary run (seed 11) recorded before
+# the isolation-level work landed.
+F7_SERIALIZABLE_DIGEST = (
+    "fd4dbdf0aa54e1edeeb0a0398a375044961be62b76f013493852dd8bf377675c"
+)
+
+
+def test_f7_serializable_history_digest_is_pinned():
+    reset_txid_counter()
+    with obs.session(history=True) as session:
+        microbench_run(
+            seed=11,
+            n_keys=5_000,
+            rate_tps=4.0,
+            clients_per_dc=2,
+            duration_ms=6_000.0,
+            warmup_ms=600.0,
+            timeout_ms=5_000.0,
+            guess_threshold=0.95,
+        )
+        history = session.history.history()
+    assert len(history) > 0
+    assert history.digest() == F7_SERIALIZABLE_DIGEST

@@ -1,0 +1,209 @@
+"""Engine-level behaviour of the tunable isolation levels.
+
+The contract under test (see docs/checking.md):
+
+* ``serializable`` — byte-for-byte the historical engine behaviour.
+* Relaxed-write levels (``read-committed``, ``monotonic-session``) —
+  conflicting writes are accepted and the same-slot contest resolves by a
+  deterministic last-writer-wins rank, so every replica converges to one
+  winner without coordination.
+* ``monotonic-session`` additionally maintains per-session read floors.
+* ``optimistic_abort`` (engine knob, any level) — abort on the first
+  rejecting vote instead of waiting for a quorum of rejections.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check.history import HistoryRecorder
+from repro.cluster import Cluster, ClusterConfig
+from repro.core.session import PlanetConfig, PlanetSession
+from repro.mdcc.replica import MdccReplica
+from repro.ops import ISOLATION_LEVELS, AbortReason, validate_isolation
+from repro.storage.record import VersionedRecord
+
+
+def _cluster(**kwargs):
+    return Cluster(ClusterConfig(seed=7, engine="mdcc", jitter_sigma=0.0, **kwargs))
+
+
+def _race(cluster, level):
+    """Two sessions in different DCs race a read-modify-write on ``k``."""
+    cluster.load({"k": 0})
+    config = PlanetConfig(isolation=level)
+    west = PlanetSession(cluster, "us_west", config=config)
+    east = PlanetSession(cluster, "us_east", config=config)
+    first = west.transaction().read("k").write("k", "a")
+    second = east.transaction().read("k").write("k", "b")
+    west.submit(first)
+    east.submit(second)
+    cluster.run()
+    cluster.settle(2_000.0)
+    return first, second
+
+
+class TestRelaxedWrites:
+    def test_read_committed_race_both_commit(self):
+        first, second = _race(_cluster(), "read-committed")
+        assert first.committed and second.committed
+
+    def test_serializable_race_does_not_both_commit(self):
+        first, second = _race(_cluster(), "serializable")
+        assert not (first.committed and second.committed)
+
+    def test_replicas_converge_to_one_lww_winner(self):
+        cluster = _cluster()
+        first, second = _race(cluster, "read-committed")
+        latests = {
+            (v.version, v.value, v.txid, v.relaxed)
+            for v in (
+                node.store.record("k").latest
+                for node in cluster.storage_nodes.values()
+            )
+        }
+        assert len(latests) == 1, "replicas diverged on the contested slot"
+        (winner,) = latests
+        # The contest is deterministic: highest (len, txid) relaxed
+        # claimant wins — tx-2 here — and no extra version is minted.
+        assert winner == (1, "b", second.txid, True)
+
+    def test_monotonic_session_race_both_commit(self):
+        first, second = _race(_cluster(), "monotonic-session")
+        assert first.committed and second.committed
+
+
+class TestClaimRank:
+    def test_strict_beats_relaxed(self):
+        assert MdccReplica._claim_rank(False, "tx-1") > MdccReplica._claim_rank(
+            True, "tx-99"
+        )
+
+    def test_among_relaxed_highest_txid_wins(self):
+        assert MdccReplica._claim_rank(True, "tx-10") > MdccReplica._claim_rank(
+            True, "tx-9"
+        )
+
+    def test_rank_total_order_is_arrival_independent(self):
+        claims = [(True, "tx-3"), (False, "tx-1"), (True, "tx-12")]
+        ranks = sorted(claims, key=lambda c: MdccReplica._claim_rank(*c))
+        assert ranks[-1] == (False, "tx-1")
+
+
+class TestReplaceAt:
+    def test_in_place_overwrite_keeps_version_number(self):
+        record = VersionedRecord(key="k")
+        record.install(value="a", txid="tx-1", now=1.0, relaxed=True)
+        replaced = record.replace_at(1, "b", "tx-2", now=2.0, relaxed=True)
+        assert replaced is not None
+        assert record.latest.version == 1
+        assert record.latest.value == "b"
+        assert record.latest.txid == "tx-2"
+        assert len(record.versions) == 2  # v0 + the contested slot, no v2
+
+    def test_missing_slot_returns_none(self):
+        record = VersionedRecord(key="k")
+        record.install(value="a", txid="tx-1", now=1.0)
+        assert record.replace_at(3, "b", "tx-2", now=2.0) is None
+
+
+class TestMonotonicSessionFloors:
+    def test_read_watermarks_advance_and_feed_min_versions(self):
+        cluster = _cluster()
+        cluster.load({"k": 0})
+        writer = PlanetSession(cluster, "us_east")
+        writer.submit(writer.transaction().write("k", 1))
+        cluster.run()
+
+        session = PlanetSession(
+            cluster, "us_west", config=PlanetConfig(isolation="monotonic-session")
+        )
+        session.submit(session.transaction().read("k"))
+        cluster.run()
+        assert session._read_watermarks == {"k": 1}
+
+        # The next read-carrying request must carry the floor.
+        captured = []
+        execute = session.coordinator.execute
+
+        def spy(request, events):
+            captured.append(request)
+            return execute(request, events)
+
+        session.coordinator.execute = spy
+        session.submit(session.transaction().read("k"))
+        cluster.run()
+        assert captured and captured[0].min_versions.get("k") == 1
+
+    def test_other_levels_keep_no_read_watermarks(self):
+        cluster = _cluster()
+        cluster.load({"k": 0})
+        for level in ("serializable", "snapshot", "read-committed"):
+            session = PlanetSession(
+                cluster, "us_west", config=PlanetConfig(isolation=level)
+            )
+            session.submit(session.transaction().read("k"))
+            cluster.run()
+            assert session._read_watermarks == {}
+
+
+class TestDeclaredLevelOnHistory:
+    def _begin_fields(self, config_level, override):
+        cluster = _cluster()
+        cluster.load({"k": 0})
+        recorder = HistoryRecorder().attach(cluster.sim)
+        session = PlanetSession(
+            cluster, "us_west", config=PlanetConfig(isolation=config_level)
+        )
+        tx = session.transaction().write("k", 1)
+        if override is not None:
+            tx.with_isolation(override)
+        session.submit(tx)
+        cluster.run()
+        (begin,) = recorder.history().by_kind("begin")
+        return begin.fields
+
+    def test_serializable_begin_carries_no_iso_field(self):
+        # Absence (not "iso=serializable") keeps pre-isolation history
+        # digests byte-identical.
+        assert "iso" not in self._begin_fields("serializable", None)
+
+    def test_relaxed_level_rides_on_begin(self):
+        fields = self._begin_fields("read-committed", None)
+        assert fields["iso"] == "read-committed"
+
+    def test_per_tx_override_beats_session_default(self):
+        assert "iso" not in self._begin_fields("read-committed", "serializable")
+        fields = self._begin_fields("serializable", "snapshot")
+        assert fields["iso"] == "snapshot"
+
+    def test_unknown_level_rejected(self):
+        cluster = _cluster()
+        session = PlanetSession(cluster, "us_west")
+        with pytest.raises(ValueError):
+            session.transaction().with_isolation("chaos")
+        with pytest.raises(ValueError):
+            PlanetSession(
+                cluster, "us_east", config=PlanetConfig(isolation="chaos")
+            )
+        assert validate_isolation(ISOLATION_LEVELS[0]) == "serializable"
+
+
+class TestOptimisticAbort:
+    def _conflict_decisions(self, optimistic):
+        cluster = _cluster(optimistic_abort=optimistic)
+        first, second = _race(cluster, "serializable")
+        return [tx for tx in (first, second) if not tx.committed]
+
+    def test_conflict_aborts_with_conflict_reason(self):
+        aborted = self._conflict_decisions(optimistic=True)
+        assert aborted
+        assert all(tx.abort_reason is AbortReason.CONFLICT for tx in aborted)
+
+    def test_aborts_decide_no_later_than_default(self):
+        default = self._conflict_decisions(optimistic=False)
+        optimistic = self._conflict_decisions(optimistic=True)
+        assert optimistic and default
+        assert max(tx.decided_at for tx in optimistic) <= max(
+            tx.decided_at for tx in default
+        )
